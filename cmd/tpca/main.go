@@ -1,0 +1,58 @@
+// Command tpca runs the TPC-A debit-credit benchmark over the RVM
+// baseline and the RLVM implementation (Table 3 of the paper), printing
+// throughput and the in-transaction time breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lvm/internal/tpca"
+)
+
+func main() {
+	var (
+		engine   = flag.String("engine", "both", "rvm, rlvm or both")
+		txns     = flag.Int("txns", 400, "transactions to run")
+		accounts = flag.Int("accounts", 1000, "accounts per branch")
+		branches = flag.Int("branches", 1, "branches")
+		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := tpca.DefaultConfig()
+	cfg.Txns = *txns
+	cfg.AccountsPerBranch = *accounts
+	cfg.Branches = *branches
+	cfg.Seed = *seed
+
+	var rvmRes, rlvmRes tpca.Result
+	var haveRVM, haveRLVM bool
+	if *engine == "rvm" || *engine == "both" {
+		res, m, err := tpca.RunRVM(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tpca:", err)
+			os.Exit(1)
+		}
+		rvmRes, haveRVM = res, true
+		fmt.Println(res)
+		fmt.Printf("      set_ranges=%d bytes_saved=%d commit=%dcyc trunc=%dcyc\n",
+			m.Stats.SetRanges, m.Stats.BytesSaved, m.Stats.CommitCycles, m.Stats.TruncCycles)
+	}
+	if *engine == "rlvm" || *engine == "both" {
+		res, m, err := tpca.RunRLVM(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tpca:", err)
+			os.Exit(1)
+		}
+		rlvmRes, haveRLVM = res, true
+		fmt.Println(res)
+		fmt.Printf("      log_records=%d commit=%dcyc trunc=%dcyc\n",
+			m.Stats.Records, m.Stats.CommitCycles, m.Stats.TruncCycles)
+	}
+	if haveRVM && haveRLVM {
+		fmt.Printf("\nRLVM/RVM speedup: %.2fx (paper: 552/418 = 1.32x)\n", rlvmRes.TPS/rvmRes.TPS)
+		fmt.Printf("footnote-4 estimated RLVM TPS: %.0f\n", tpca.EstimateRLVMTPS(rlvmRes, rvmRes))
+	}
+}

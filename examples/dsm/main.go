@@ -1,0 +1,74 @@
+// DSM: log-based consistency for producer-consumer sharing (Section 2.6
+// of the paper), compared against Munin-style twin/diff.
+//
+// A producer updates a write-shared region inside a critical section; at
+// lock release the updates must reach the consumer's replica. With LVM
+// the hardware already enumerated the updates in the log, so release-time
+// processing collapses to log consumption; Munin instead pays a
+// protection fault plus a page twin on first touch and a word-by-word
+// diff of every twinned page at release.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvm/internal/core"
+	"lvm/internal/dsm"
+)
+
+const size = 8 * core.PageSize
+
+func main() {
+	// Log-based producer/consumer.
+	sysL := core.NewSystem(core.DefaultConfig())
+	prodL, err := dsm.NewLVMProducer(sysL, sysL.NewProcess(0, sysL.NewAddressSpace()), size, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	consL, err := dsm.NewConsumer(sysL, sysL.NewProcess(1, sysL.NewAddressSpace()), size)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Munin producer/consumer on an identical machine.
+	sysM := core.NewSystem(core.DefaultConfig())
+	prodM, err := dsm.NewMuninProducer(sysM, sysM.NewProcess(0, sysM.NewAddressSpace()), size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	consM, err := dsm.NewConsumer(sysM, sysM.NewProcess(1, sysM.NewAddressSpace()), size)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The critical section: 40 sparse updates across 8 pages.
+	for i := uint32(0); i < 40; i++ {
+		off := (i * 820) % size &^ 3
+		prodL.Write(off, 0xAA000000+i)
+		prodM.Write(off, 0xAA000000+i)
+	}
+
+	msgL, stL := prodL.Release()
+	msgM, stM := prodM.Release()
+	consL.Apply(msgL)
+	consM.Apply(msgM)
+
+	if err := dsm.Verify(dsm.SegmentOf(prodL), consL, size); err != nil {
+		log.Fatal(err)
+	}
+	if err := dsm.Verify(dsm.SegmentOf(prodM), consM, size); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("both replicas consistent with the producer ✓")
+	fmt.Println()
+	fmt.Printf("%-22s %12s %12s\n", "", "log-based", "munin")
+	fmt.Printf("%-22s %12d %12d\n", "write-path cycles", prodL.WriteCycles(), prodM.WriteCycles())
+	fmt.Printf("%-22s %12d %12d\n", "release cycles", stL.Cycles, stM.Cycles)
+	fmt.Printf("%-22s %12d %12d\n", "bytes transmitted", stL.Bytes, stM.Bytes)
+	fmt.Printf("%-22s %12d %12d\n", "entries", stL.Entries, stM.Entries)
+	fmt.Println()
+	fmt.Println("log-based consistency pays a write-through per store but needs")
+	fmt.Println("no faults, twins or page diffs — release-time work is just")
+	fmt.Println("synchronizing with the end of the log (Section 2.6).")
+}

@@ -1,0 +1,101 @@
+// OODB: a memory-mapped object database over recoverable logged virtual
+// memory — the application the paper's introduction motivates:
+//
+// "Object-oriented database management systems can also use logged
+// virtual memory to log updates to the objects mapped into a virtual
+// memory region... persistent objects supporting atomic transactions can
+// be read and written in virtual memory with the same efficiency as
+// standard C++ objects."
+//
+// A small order database (objects + hash index, all in one recoverable
+// region) processes order transactions under RLVM, survives a crash, and
+// is then compared against the RVM baseline as transactions grow longer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvm/internal/core"
+	"lvm/internal/experiments"
+	"lvm/internal/oodb"
+	"lvm/internal/ramdisk"
+)
+
+func main() {
+	disk := ramdisk.New()
+	cfg := oodb.DefaultConfig()
+
+	sys := core.NewSystem(core.DefaultConfig())
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	db, err := oodb.OpenRLVM(sys, p, cfg, disk)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Create some orders: plain stores inside a transaction; the LVM log
+	// is the only write-tracking machinery anywhere.
+	must(db.Begin())
+	for i := uint32(0); i < 5; i++ {
+		if _, err := db.Create(9000+i, []uint32{i * 11, 100 + i, 0}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(db.Commit())
+
+	// A business transaction: mark two orders shipped; abort another
+	// attempted change.
+	must(db.Begin())
+	for _, key := range []uint32{9001, 9003} {
+		id, ok := db.Lookup(key)
+		if !ok {
+			log.Fatalf("order %d missing", key)
+		}
+		must(db.Update(id, 2, 1)) // shipped = 1
+	}
+	must(db.Commit())
+
+	must(db.Begin())
+	id, _ := db.Lookup(9000)
+	must(db.Update(id, 2, 1))
+	must(db.Abort()) // changed our mind — deferred copy rolls it back
+
+	fmt.Println("orders after commits and an abort:")
+	for i := uint32(0); i < 5; i++ {
+		oid, _ := db.Lookup(9000 + i)
+		fmt.Printf("  order %d: qty=%-3d cust=%-3d shipped=%d\n",
+			9000+i, db.Field(oid, 0), db.Field(oid, 1), db.Field(oid, 2))
+	}
+
+	// Crash and recover on a new machine: the RAM disk is all that
+	// survives.
+	sys2 := core.NewSystem(core.DefaultConfig())
+	p2 := sys2.NewProcess(0, sys2.NewAddressSpace())
+	db2, err := oodb.OpenRLVM(sys2, p2, cfg, disk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oid, ok := db2.Lookup(9003)
+	if !ok || db2.Field(oid, 2) != 1 {
+		log.Fatal("recovery lost the shipped flag")
+	}
+	fmt.Println("\nrecovered after crash: order 9003 still shipped ✓")
+
+	// The Section 4.2 prediction, measured: longer transactions widen
+	// RLVM's advantage over set_range-based RVM.
+	fmt.Println("\nRLVM speedup vs transaction length (objects touched per txn):")
+	pts, err := experiments.OODB([]int{1, 4, 16}, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range pts {
+		fmt.Printf("  %2d objects/txn: RVM %5.0f tps, RLVM %5.0f tps → %.2fx\n",
+			pt.TouchesPerTxn, pt.RVMTPS, pt.RLVMTPS, pt.Speedup)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// RLVM: atomic transactions on memory-mapped persistent objects
+// (Section 2.5 of the paper).
+//
+// "With an efficient logged virtual memory facility, persistent objects
+// supporting atomic transactions can be read and written in virtual
+// memory with the same efficiency as standard C++ objects."
+//
+// The example keeps a small persistent account table in an RLVM
+// recoverable region: plain stores inside a transaction, commit, abort,
+// and crash recovery — with no set_range() calls anywhere.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvm/internal/core"
+	"lvm/internal/ramdisk"
+	"lvm/internal/rlvm"
+)
+
+const accounts = 8
+
+func balanceVA(m *rlvm.Manager, acct uint32) core.Addr { return m.Base() + acct*4 }
+
+func printAccounts(p *core.Process, m *rlvm.Manager, label string) {
+	fmt.Printf("%-28s", label)
+	for a := uint32(0); a < accounts; a++ {
+		fmt.Printf(" %5d", p.Load32(balanceVA(m, a)))
+	}
+	fmt.Println()
+}
+
+func main() {
+	disk := ramdisk.New() // the persistent store survives "crashes"
+
+	sys := core.NewSystem(core.DefaultConfig())
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	m, err := rlvm.New(sys, p, 4*core.PageSize, disk, rlvm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Transaction 1: fund every account. Writes are ordinary stores —
+	// the LVM log supplies the redo records at commit.
+	must(m.Begin())
+	for a := uint32(0); a < accounts; a++ {
+		must(m.RecoverableWrite32(balanceVA(m, a), 100))
+	}
+	must(m.Commit())
+	printAccounts(p, m, "after funding (committed):")
+
+	// Transaction 2: a transfer that aborts mid-flight. Abort is
+	// resetDeferredCopy back to the committed checkpoint plus a rewind
+	// of the log (Section 2.3).
+	must(m.Begin())
+	must(m.RecoverableWrite32(balanceVA(m, 0), 0))
+	must(m.RecoverableWrite32(balanceVA(m, 1), 200))
+	printAccounts(p, m, "mid-transfer (uncommitted):")
+	must(m.Abort())
+	printAccounts(p, m, "after abort:")
+
+	// Transaction 3: a committed transfer.
+	must(m.Begin())
+	must(m.RecoverableWrite32(balanceVA(m, 0), 40))
+	must(m.RecoverableWrite32(balanceVA(m, 1), 160))
+	must(m.Commit())
+	printAccounts(p, m, "after transfer (committed):")
+
+	// Crash: the machine disappears; only the RAM disk survives. A new
+	// system recovers from the image + write-ahead log.
+	fmt.Println("\n-- crash; recovering from disk --")
+	sys2 := core.NewSystem(core.DefaultConfig())
+	p2 := sys2.NewProcess(0, sys2.NewAddressSpace())
+	m2, err := rlvm.New(sys2, p2, 4*core.PageSize, disk, rlvm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printAccounts(p2, m2, "recovered state:")
+
+	var total uint32
+	for a := uint32(0); a < accounts; a++ {
+		total += p2.Load32(balanceVA(m2, a))
+	}
+	if total != accounts*100 {
+		log.Fatalf("money not conserved: %d", total)
+	}
+	fmt.Printf("\nmoney conserved across abort, commit and crash: %d ✓\n", total)
+	fmt.Printf("transactions: %d, LVM log records consumed at commit: %d\n", m.Stats.Txns, m.Stats.Records)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

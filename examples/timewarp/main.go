@@ -1,0 +1,100 @@
+// Timewarp: optimistic parallel simulation over LVM (Section 2.4 and
+// Figure 3 of the paper).
+//
+// Three schedulers run a synthetic discrete-event workload optimistically:
+// each keeps its objects in a working segment whose deferred-copy source
+// is a checkpoint segment, with every update logged. When a straggler
+// event arrives, the scheduler rolls back with resetDeferredCopy() plus
+// roll-forward from the log; CULT advances checkpoints as GVT progresses.
+//
+// The example runs the same workload (a) sequentially, (b) optimistically
+// with LVM state saving, and (c) optimistically with conventional
+// copy-based state saving, verifies all three agree, and prints the
+// rollback statistics and state-saving costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvm/internal/timewarp"
+)
+
+const (
+	totalObjects = 12
+	horizon      = 300
+)
+
+func build(scheds int, saver timewarp.SaverKind) *timewarp.Sim {
+	cfg := timewarp.Config{
+		Schedulers:          scheds,
+		ObjectsPerScheduler: totalObjects / scheds,
+		ObjectBytes:         128,
+		Saver:               saver,
+		GVTInterval:         32,
+	}
+	h := timewarp.Synthetic{
+		Compute:     600,
+		Writes:      6,
+		ObjectWords: 32,
+		Horizon:     horizon,
+		MaxDelay:    6,
+		NumObjects:  totalObjects,
+	}
+	sim, err := timewarp.New(cfg, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := uint32(0); i < totalObjects; i++ {
+		sim.Inject(0, i, 42+i)
+	}
+	return sim
+}
+
+func checksum(s *timewarp.Sim) uint32 {
+	var sum uint32
+	for obj := uint32(0); obj < totalObjects; obj++ {
+		for w := 0; w < 32; w++ {
+			sum = sum*31 + s.ObjectWord(obj, w)
+		}
+	}
+	return sum
+}
+
+func main() {
+	seq := build(1, timewarp.SaverLVM)
+	seqCycles := seq.Run(timewarp.PolicyGlobalOrder)
+	fmt.Printf("sequential:        %7d events, %9d cycles, checksum %08x\n",
+		seq.TotalStats().Events, seqCycles, checksum(seq))
+
+	lvm := build(3, timewarp.SaverLVM)
+	lvmCycles := lvm.Run(timewarp.PolicyRoundRobin)
+	st := lvm.TotalStats()
+	fmt.Printf("optimistic (LVM):  %7d events, %9d cycles, checksum %08x\n",
+		st.Events, lvmCycles, checksum(lvm))
+	fmt.Printf("                   %d rollbacks undid %d events; %d anti-messages (%d annihilated); %d records replayed\n",
+		st.Rollbacks, st.RolledBack, st.AntisSent, st.Annihilated, st.Replayed)
+
+	cp := build(3, timewarp.SaverCopy)
+	cpCycles := cp.Run(timewarp.PolicyRoundRobin)
+	cst := cp.TotalStats()
+	fmt.Printf("optimistic (copy): %7d events, %9d cycles, checksum %08x\n",
+		cst.Events, cpCycles, checksum(cp))
+
+	if checksum(seq) != checksum(lvm) || checksum(seq) != checksum(cp) {
+		log.Fatal("BUG: runs disagree")
+	}
+	fmt.Println("\nall three executions computed identical final state ✓")
+	fmt.Printf("elapsed, LVM %d vs copy %d cycles under heavy rollback\n", lvmCycles, cpCycles)
+	fmt.Println("(rollback is costlier with LVM — reset + roll-forward — but the")
+	fmt.Println(" paper notes only processes AHEAD of GVT roll back, so this does")
+	fmt.Println(" not slow overall progress; the forward path is where LVM wins:)")
+
+	// The Figure 7 measurement at one point: pure forward cost.
+	sp, cpf, lvf, err := timewarp.Speedup(1024, 256, 8, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nforward-cost point (c=1024, s=256, w=8):\n  copy: %s\n  lvm:  %s\n  speedup %.2f (Figure 7 territory)\n",
+		cpf, lvf, sp)
+}

@@ -1,0 +1,110 @@
+// Package cache models the processor's on-chip data cache (the 68040's
+// split I/D cache; we model the 4 KiB data half with 16-byte lines,
+// direct-mapped) as a cost model.
+//
+// The cache is functional only with respect to tags and dirty bits: the
+// simulated machine keeps authoritative data in physical memory, so the
+// cache model decides *what an access costs*, not what it returns. Logged
+// pages run in write-through mode (set by the kernel at page-fault time,
+// Section 3.2); write-through writes update the cached copy if present but
+// never allocate, so each one appears on the bus where the logger can
+// snoop it.
+package cache
+
+import "lvm/internal/cycles"
+
+// Event describes what an L1 access did, so the machine can charge costs.
+type Event struct {
+	// Hit reports whether the access hit in the cache.
+	Hit bool
+	// WritebackVictim reports that a dirty victim line had to be written
+	// back to the second-level cache before the fill.
+	WritebackVictim bool
+	// VictimAddr is the base address of the written-back victim line.
+	VictimAddr uint32
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint32
+}
+
+// L1 is a direct-mapped write-back data cache with 16-byte lines.
+type L1 struct {
+	lines [cycles.L1Lines]line
+
+	// Stats.
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// NewL1 creates an empty cache.
+func NewL1() *L1 { return &L1{} }
+
+func split(addr uint32) (idx int, tag uint32) {
+	lineNo := addr >> cycles.LineShift
+	return int(lineNo % cycles.L1Lines), lineNo / cycles.L1Lines
+}
+
+// Access performs a (write-back mode) load or store at addr and reports
+// the resulting traffic.
+func (c *L1) Access(addr uint32, write bool) Event {
+	idx, tag := split(addr)
+	l := &c.lines[idx]
+	if l.valid && l.tag == tag {
+		c.Hits++
+		if write {
+			l.dirty = true
+		}
+		return Event{Hit: true}
+	}
+	c.Misses++
+	ev := Event{}
+	if l.valid && l.dirty {
+		c.Writebacks++
+		ev.WritebackVictim = true
+		ev.VictimAddr = (l.tag*cycles.L1Lines + uint32(idx)) << cycles.LineShift
+	}
+	l.valid = true
+	l.dirty = write
+	l.tag = tag
+	return ev
+}
+
+// WriteNoAllocate models a write-through store: the cached copy is updated
+// if the line is present, but a miss does not allocate. The bus word write
+// itself is charged by the machine, not here.
+func (c *L1) WriteNoAllocate(addr uint32) {
+	idx, tag := split(addr)
+	l := &c.lines[idx]
+	if l.valid && l.tag == tag {
+		// Write-through: the line stays clean (memory is updated by the
+		// bus write).
+		_ = l
+	}
+}
+
+// InvalidateAll empties the cache (context switch, explicit flush).
+func (c *L1) InvalidateAll() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// InvalidatePage drops every line belonging to the 4 KiB page containing
+// addr, returning how many dirty lines were discarded.
+func (c *L1) InvalidatePage(pageBase uint32) (dropped int) {
+	for off := uint32(0); off < 4096; off += cycles.LineSize {
+		idx, tag := split(pageBase + off)
+		l := &c.lines[idx]
+		if l.valid && l.tag == tag {
+			if l.dirty {
+				dropped++
+			}
+			l.valid = false
+		}
+	}
+	return dropped
+}

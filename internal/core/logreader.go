@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"lvm/internal/logrec"
+)
+
+// Record is one logged write as seen by a log consumer: the raw 16-byte
+// record (Section 3.1) plus the kernel's reverse translation of its
+// physical address back to the owning segment and offset (Section 3.1.2:
+// the prototype logger stores physical addresses, so consumers that want
+// segment-relative or virtual addresses translate in software).
+type Record struct {
+	logrec.Record
+	// Seg is the segment the write landed in (nil if the frame is no
+	// longer owned, e.g. the segment was freed).
+	Seg *Segment
+	// SegOff is the byte offset of the write within Seg.
+	SegOff uint32
+}
+
+// VAIn returns the virtual address of the write as seen through region r
+// (which must map Record.Seg), ok=false otherwise.
+func (rec Record) VAIn(r *Region) (Addr, bool) {
+	if rec.Seg == nil || r.Segment() != rec.Seg || rec.SegOff >= r.Size() {
+		return 0, false
+	}
+	return r.Base() + rec.SegOff, true
+}
+
+// LogReader iterates over the records of a (record-mode) log segment in
+// write order: "These log records are arranged sequentially in the log
+// segment so that an earlier write is stored in a lower offset than a
+// later write" (Section 2.1).
+type LogReader struct {
+	sys *System
+	ls  *Segment
+	off uint32
+	end uint32
+}
+
+// NewLogReader creates a reader positioned at the start of the log. It
+// synchronizes with the logger (drains in-flight records) to find the end
+// of the log.
+func NewLogReader(sys *System, ls *Segment) *LogReader {
+	r := &LogReader{sys: sys, ls: ls}
+	r.Sync()
+	return r
+}
+
+// Sync drains the logger and refreshes the reader's view of the log end.
+func (r *LogReader) Sync() {
+	r.sys.K.Sync()
+	r.end = r.sys.K.LogAppendOffset(r.ls)
+}
+
+// Offset reports the reader's current byte offset within the log segment.
+func (r *LogReader) Offset() uint32 { return r.off }
+
+// Seek positions the reader at the given byte offset (must be a multiple
+// of the record size).
+func (r *LogReader) Seek(off uint32) error {
+	if off%logrec.Size != 0 {
+		return fmt.Errorf("core: log seek offset %d not record aligned", off)
+	}
+	r.off = off
+	return nil
+}
+
+// Remaining reports how many whole records remain.
+func (r *LogReader) Remaining() int { return int((r.end - r.off) / logrec.Size) }
+
+// Next returns the next record, resolving its address. ok is false at the
+// end of the log.
+func (r *LogReader) Next() (rec Record, ok bool) {
+	if r.off+logrec.Size > r.end {
+		return Record{}, false
+	}
+	raw := logrec.Decode(r.ls.RawRead(r.off, logrec.Size))
+	r.off += logrec.Size
+	rec = Record{Record: raw}
+	if seg, off, found := r.sys.K.ResolveLogAddr(r.ls, raw.Addr); found {
+		rec.Seg = seg
+		rec.SegOff = off
+	}
+	return rec, true
+}
+
+// All returns every remaining record.
+func (r *LogReader) All() []Record {
+	out := make([]Record, 0, r.Remaining())
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, rec)
+	}
+}
+
+// Apply replays a record into dst at the record's segment offset: the
+// basic operation of checkpoint roll-forward ("the scheduler applies all
+// logged updates older than T to the checkpoint segment", Section 2.4).
+// dst is typically a different segment (a checkpoint) with the same
+// layout as the logged segment.
+func (rec Record) Apply(dst *Segment) {
+	dst.RawWrite(rec.SegOff, rec.ValueBytes())
+}
+
+// ApplyWhile replays records into dst while pred returns true, stopping
+// (without consuming) at the first record for which pred is false. It
+// returns how many records were applied. Records that resolve to a
+// different segment than src are skipped (they belong to other data
+// logged into the same log, e.g. marker words elsewhere).
+func (r *LogReader) ApplyWhile(src, dst *Segment, pred func(Record) bool) int {
+	n := 0
+	for {
+		save := r.off
+		rec, ok := r.Next()
+		if !ok {
+			return n
+		}
+		if !pred(rec) {
+			r.off = save
+			return n
+		}
+		if rec.Seg == src {
+			rec.Apply(dst)
+			n++
+		}
+	}
+}
+
+// Truncate discards the log contents and resets both the hardware append
+// position and this reader to the start.
+func (r *LogReader) Truncate() error {
+	if err := r.sys.K.TruncateLog(r.ls); err != nil {
+		return err
+	}
+	r.off, r.end = 0, 0
+	return nil
+}
+
+// ReadIndexed returns the values of an indexed-mode log (Section 2.6:
+// "the log generates a sequence of data values into the log segment
+// without addresses or other information").
+func ReadIndexed(sys *System, ls *Segment) []uint32 {
+	sys.K.Sync()
+	end := sys.K.LogAppendOffset(ls)
+	out := make([]uint32, 0, end/4)
+	for off := uint32(0); off+4 <= end; off += 4 {
+		out = append(out, ls.Read32(off))
+	}
+	return out
+}

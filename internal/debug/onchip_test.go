@@ -1,0 +1,44 @@
+package debug
+
+import (
+	"testing"
+
+	"lvm/internal/core"
+)
+
+// TestWatcherOnChipSystem: the debugger tooling works unchanged over the
+// Section 4.6 kernel, where records carry virtual addresses.
+func TestWatcherOnChipSystem(t *testing.T) {
+	sys := core.NewSystemOnChip(core.Config{NumCPUs: 1, MemFrames: 2048})
+	seg := core.NewNamedSegment(sys, "prog", core.PageSize, nil)
+	reg := core.NewStdRegion(sys, seg)
+	ls := core.NewLogSegment(sys, 8)
+	if err := reg.Log(ls); err != nil {
+		t.Fatal(err)
+	}
+	as := sys.NewAddressSpace()
+	base, err := reg.Bind(as, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.NewProcess(0, as)
+	p.Store32(base+0x50, 1)
+	p.Store32(base+0x60, 2)
+	p.Store32(base+0x50, 3)
+
+	w := NewWatcher(sys, seg, ls)
+	hits := w.WritesTo(0x50, 4)
+	if len(hits) != 2 || hits[1].Value != 3 {
+		t.Fatalf("watch on on-chip system: %+v", hits)
+	}
+	// Reverse execution too.
+	ckpt := core.NewNamedSegment(sys, "ckpt", core.PageSize, nil)
+	re, err := NewReverseExecutor(sys, seg, ls, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Goto(1)
+	if re.Word(0x50) != 1 || re.Word(0x60) != 0 {
+		t.Fatalf("reverse state at 1: %d %d", re.Word(0x50), re.Word(0x60))
+	}
+}

@@ -1,0 +1,273 @@
+package dsm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lvm/internal/core"
+)
+
+const shared = 8 * core.PageSize
+
+func newSys() *core.System {
+	return core.NewSystem(core.Config{NumCPUs: 2, MemFrames: 8192})
+}
+
+func TestMuninConsistency(t *testing.T) {
+	sys := newSys()
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	prod, err := NewMuninProducer(sys, p, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 100; i++ {
+		prod.Write((i*52)%shared&^3, 1000+i)
+	}
+	msg, st := prod.Release()
+	cons.Apply(msg)
+	if err := Verify(SegmentOf(prod), cons, shared); err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries == 0 || st.Bytes <= MsgHeaderBytes {
+		t.Fatalf("empty update: %+v", st)
+	}
+}
+
+func TestLVMConsistency(t *testing.T) {
+	sys := newSys()
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	prod, err := NewLVMProducer(sys, p, shared, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 100; i++ {
+		prod.Write((i*52)%shared&^3, 1000+i)
+	}
+	msg, st := prod.Release()
+	cons.Apply(msg)
+	if err := Verify(SegmentOf(prod), cons, shared); err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 100 {
+		t.Fatalf("entries = %d, want 100 (one per logged write)", st.Entries)
+	}
+}
+
+func TestProtocolsAgreeOnFinalState(t *testing.T) {
+	prop := func(offs []uint16, vals []uint32) bool {
+		n := len(offs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n > 120 {
+			n = 120
+		}
+		sysA := newSys()
+		pa := sysA.NewProcess(0, sysA.NewAddressSpace())
+		munin, err := NewMuninProducer(sysA, pa, shared)
+		if err != nil {
+			return false
+		}
+		ca, _ := NewConsumer(sysA, sysA.NewProcess(1, sysA.NewAddressSpace()), shared)
+
+		sysB := newSys()
+		pb := sysB.NewProcess(0, sysB.NewAddressSpace())
+		lvmp, err := NewLVMProducer(sysB, pb, shared, 64)
+		if err != nil {
+			return false
+		}
+		cb, _ := NewConsumer(sysB, sysB.NewProcess(1, sysB.NewAddressSpace()), shared)
+
+		for i := 0; i < n; i++ {
+			off := uint32(offs[i]) % shared &^ 3
+			munin.Write(off, vals[i])
+			lvmp.Write(off, vals[i])
+		}
+		ma, _ := munin.Release()
+		mb, _ := lvmp.Release()
+		ca.Apply(ma)
+		cb.Apply(mb)
+		if Verify(SegmentOf(munin), ca, shared) != nil {
+			return false
+		}
+		if Verify(SegmentOf(lvmp), cb, shared) != nil {
+			return false
+		}
+		// Replicas agree with each other too.
+		for off := uint32(0); off < shared; off += 4 {
+			if ca.Word(off) != cb.Word(off) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLVMReleaseCheaperThanMunin(t *testing.T) {
+	// Section 2.6: "LVM reduces the overhead of determining the updates
+	// to transmit" — the release-time processing collapses to log
+	// consumption instead of twin diffs over whole pages.
+	sysA := newSys()
+	munin, _ := NewMuninProducer(sysA, sysA.NewProcess(0, sysA.NewAddressSpace()), shared)
+	sysB := newSys()
+	lvmp, _ := NewLVMProducer(sysB, sysB.NewProcess(0, sysB.NewAddressSpace()), shared, 64)
+	// Sparse writes across every page: Munin must twin and diff all of
+	// them.
+	for page := uint32(0); page < 8; page++ {
+		for i := uint32(0); i < 4; i++ {
+			off := page*core.PageSize + i*64
+			munin.Write(off, page*100+i)
+			lvmp.Write(off, page*100+i)
+		}
+	}
+	_, stM := munin.Release()
+	_, stL := lvmp.Release()
+	if stL.Cycles >= stM.Cycles {
+		t.Fatalf("LVM release (%d) not cheaper than Munin (%d)", stL.Cycles, stM.Cycles)
+	}
+	// Total producer overhead (writes + release): Munin pays faults and
+	// twins; LVM pays only write-throughs.
+	totM := munin.WriteCycles() + stM.Cycles
+	totL := lvmp.WriteCycles() + stL.Cycles
+	if totL >= totM {
+		t.Fatalf("LVM total (%d) not cheaper than Munin total (%d)", totL, totM)
+	}
+}
+
+func TestRepeatedWritesCostLVMMoreBytes(t *testing.T) {
+	// The acknowledged trade-off: "the amount of data transmitted can be
+	// more with LVM if locations are updated repeatedly between
+	// acquiring and releasing locks."
+	sysA := newSys()
+	munin, _ := NewMuninProducer(sysA, sysA.NewProcess(0, sysA.NewAddressSpace()), shared)
+	sysB := newSys()
+	lvmp, _ := NewLVMProducer(sysB, sysB.NewProcess(0, sysB.NewAddressSpace()), shared, 64)
+	for rep := uint32(0); rep < 50; rep++ {
+		munin.Write(0, rep)
+		lvmp.Write(0, rep)
+	}
+	mM, _ := munin.Release()
+	mL, _ := lvmp.Release()
+	if len(mM.Entries) != 1 {
+		t.Fatalf("munin entries = %d, want 1", len(mM.Entries))
+	}
+	if len(mL.Entries) != 50 {
+		t.Fatalf("lvm entries = %d, want 50", len(mL.Entries))
+	}
+	if mL.Bytes <= mM.Bytes {
+		t.Fatalf("LVM bytes (%d) not larger under repeated writes (munin %d)", mL.Bytes, mM.Bytes)
+	}
+}
+
+func TestSubWordWritesPropagate(t *testing.T) {
+	sys := newSys()
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	prod, _ := NewLVMProducer(sys, p, shared, 64)
+	cons, _ := NewConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), shared)
+	p.Store32(prod.Base()+8, 0xAABBCCDD)
+	p.Store8(prod.Base()+9, 0x11) // sub-word update
+	msg, _ := prod.Release()
+	cons.Apply(msg)
+	if err := Verify(SegmentOf(prod), cons, shared); err != nil {
+		t.Fatal(err)
+	}
+	if got := cons.Word(8); got != 0xAABB11DD {
+		t.Fatalf("sub-word propagation = %#x", got)
+	}
+}
+
+func TestMultipleReleases(t *testing.T) {
+	sys := newSys()
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	prod, _ := NewLVMProducer(sys, p, shared, 64)
+	cons, _ := NewConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), shared)
+	for round := uint32(0); round < 5; round++ {
+		for i := uint32(0); i < 20; i++ {
+			prod.Write((round*800+i*8)%shared&^3, round*1000+i)
+		}
+		msg, st := prod.Release()
+		if st.Entries != 20 {
+			t.Fatalf("round %d: %d entries, want 20 (stale records re-sent?)", round, st.Entries)
+		}
+		cons.Apply(msg)
+	}
+	if err := Verify(SegmentOf(prod), cons, shared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingConsumerReducesBacklog(t *testing.T) {
+	sys := newSys()
+	prod, err := NewLVMProducer(sys, sys.NewProcess(0, sys.NewAddressSpace()), shared, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewStreamingConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), prod, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The producer writes; the consumer streams during the critical
+	// section ("the output process executes asynchronously").
+	for i := uint32(0); i < 60; i++ {
+		prod.Write((i*96)%shared&^3, 4000+i)
+		if i%10 == 9 {
+			cons.Pull()
+		}
+	}
+	backlog, relCycles := prod.ReleaseStreaming(cons)
+	if backlog >= 60 {
+		t.Fatalf("streaming left the whole backlog for release: %d", backlog)
+	}
+	if cons.Entries != 60 {
+		t.Fatalf("consumer saw %d entries, want 60", cons.Entries)
+	}
+	if err := Verify(SegmentOf(prod), cons.Consumer, shared); err != nil {
+		t.Fatal(err)
+	}
+	// Release-time producer cost is pure synchronization: far below a
+	// batch release, which walks every record at RecordCycles each.
+	if relCycles >= 60*RecordCycles {
+		t.Fatalf("streaming release cost %d not below batch cost", relCycles)
+	}
+}
+
+func TestStreamingEmptyPulls(t *testing.T) {
+	sys := newSys()
+	prod, _ := NewLVMProducer(sys, sys.NewProcess(0, sys.NewAddressSpace()), shared, 64)
+	cons, _ := NewStreamingConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), prod, shared)
+	if n := cons.Pull(); n != 0 {
+		t.Fatalf("empty pull returned %d", n)
+	}
+	prod.Write(0, 1)
+	if n := cons.Pull(); n != 1 {
+		t.Fatalf("pull = %d", n)
+	}
+	if n := cons.Pull(); n != 0 {
+		t.Fatalf("re-pull returned %d (records double-applied)", n)
+	}
+}
+
+func TestConsumerStats(t *testing.T) {
+	sys := newSys()
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	prod, _ := NewLVMProducer(sys, p, shared, 64)
+	cons, _ := NewConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), shared)
+	prod.Write(0, 1)
+	prod.Write(4, 2)
+	msg, _ := prod.Release()
+	cons.Apply(msg)
+	if cons.ApplyCycles == 0 || cons.BytesRecv != uint64(msg.Bytes) {
+		t.Fatalf("consumer stats: %d cycles, %d bytes", cons.ApplyCycles, cons.BytesRecv)
+	}
+}

@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2Calibration(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalCycle != r.PaperTotal {
+			t.Fatalf("%s: total %d, paper %d", r.Operation, r.TotalCycle, r.PaperTotal)
+		}
+		if r.BusCycles != r.PaperBus {
+			t.Fatalf("%s: bus %d, paper %d", r.Operation, r.BusCycles, r.PaperBus)
+		}
+	}
+	if !strings.Contains(FormatTable2(rows), "Word write-through") {
+		t.Fatalf("format missing rows")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r, err := Table3(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single write: paper 3515 vs 16; we require the same two orders of
+	// magnitude separation and RVM within 5% of 3515.
+	if r.RVMWriteCycles < 3340 || r.RVMWriteCycles > 3690 {
+		t.Fatalf("RVM single write = %.0f, want ~3515", r.RVMWriteCycles)
+	}
+	if r.RLVMWriteCycles > 40 {
+		t.Fatalf("RLVM single write = %.0f, want ~16", r.RLVMWriteCycles)
+	}
+	if r.RVMWriteCycles/r.RLVMWriteCycles < 100 {
+		t.Fatalf("RVM/RLVM write ratio = %.0f, want >= 100", r.RVMWriteCycles/r.RLVMWriteCycles)
+	}
+	// TPC-A: paper 418 vs 552 (+32%); require RLVM to win by 10-60%.
+	if r.RLVMTPS < r.RVMTPS*1.10 || r.RLVMTPS > r.RVMTPS*1.60 {
+		t.Fatalf("TPC-A: RVM %.0f vs RLVM %.0f — ratio off", r.RVMTPS, r.RLVMTPS)
+	}
+	if !strings.Contains(FormatTable3(r), "TPC-A") {
+		t.Fatalf("format broken")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	points, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range Fig9Sizes {
+		// Reset cost grows with dirty data; bcopy stays flat; crossover
+		// near two-thirds (paper: "resetdeferredcopy() performs better
+		// than a raw copy if less than about two-thirds of the segment
+		// is dirty").
+		var prev uint64
+		var bcopy uint64
+		for _, p := range points {
+			if p.SegmentBytes != size {
+				continue
+			}
+			if p.ResetCycles < prev {
+				t.Fatalf("size %d: reset cost not monotone", size)
+			}
+			prev = p.ResetCycles
+			bcopy = p.BcopyCycles
+		}
+		_ = bcopy
+		x := Crossover(points, size)
+		if x < 0.55 || x > 0.8 {
+			t.Fatalf("size %d: crossover at %.2f, want ~0.67", size, x)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	points, err := Fig10(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(cl int, c uint64, logged bool) Fig10Point {
+		for _, p := range points {
+			if p.Cluster == cl && p.Compute == c && p.Logged == logged {
+				return p
+			}
+		}
+		t.Fatalf("missing point")
+		return Fig10Point{}
+	}
+	// At large c: logged costs more than unlogged (write-through), and
+	// both are flat-ish.
+	lg, un := get(4, 1600, true), get(4, 1600, false)
+	if lg.CyclesPerWrite <= un.CyclesPerWrite {
+		t.Fatalf("logged (%.1f) not costlier than unlogged (%.1f) at c=1600", lg.CyclesPerWrite, un.CyclesPerWrite)
+	}
+	if lg.Overloads != 0 {
+		t.Fatalf("overloads at c=1600")
+	}
+	// At c=0: logged writes collapse (overload), unlogged do not.
+	lg0, un0 := get(4, 0, true), get(4, 0, false)
+	if lg0.CyclesPerWrite < 2*lg.CyclesPerWrite {
+		t.Fatalf("no overload collapse at c=0: %.1f vs %.1f", lg0.CyclesPerWrite, lg.CyclesPerWrite)
+	}
+	if un0.CyclesPerWrite > 2*un.CyclesPerWrite {
+		t.Fatalf("unlogged writes degraded at c=0: %.1f vs %.1f", un0.CyclesPerWrite, un.CyclesPerWrite)
+	}
+	// Burst size: larger logged clusters cost more per write at moderate
+	// c (bus queueing behind record DMAs).
+	c2, c8 := get(2, 200, true), get(8, 200, true)
+	if c8.CyclesPerWrite < c2.CyclesPerWrite {
+		t.Fatalf("larger bursts not costlier: cl2 %.1f vs cl8 %.1f", c2.CyclesPerWrite, c8.CyclesPerWrite)
+	}
+}
+
+func TestFig11And12Shape(t *testing.T) {
+	points, err := Fig11([]uint64{0, 9, 18, 27, 36, 45, 63}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byC := map[uint64]Fig11Point{}
+	for _, p := range points {
+		byC[p.Compute] = p
+	}
+	// Overloads at c=0, none at c>=36 ("this overload is avoided as long
+	// as there is no more than one logged write per 27 compute cycles on
+	// average").
+	if byC[0].OverloadsPer1000 == 0 {
+		t.Fatalf("no overloads at c=0")
+	}
+	if byC[45].OverloadsPer1000 != 0 || byC[63].OverloadsPer1000 != 0 {
+		t.Fatalf("overloads beyond the threshold: c45=%.2f c63=%.2f",
+			byC[45].OverloadsPer1000, byC[63].OverloadsPer1000)
+	}
+	// The overhead over the unlogged baseline shrinks as c grows
+	// (Figure 11's converging curves).
+	over0 := byC[0].LoggedCyclesIter - byC[0].PlainCyclesIter
+	over63 := byC[63].LoggedCyclesIter - byC[63].PlainCyclesIter
+	if over0 <= over63 {
+		t.Fatalf("logged overhead not shrinking: %.1f@0 vs %.1f@63", over0, over63)
+	}
+	// Overload rate decreases with c (Figure 12's falling curve).
+	if byC[0].OverloadsPer1000 < byC[18].OverloadsPer1000 {
+		t.Fatalf("overload rate not falling: %v vs %v", byC[0].OverloadsPer1000, byC[18].OverloadsPer1000)
+	}
+	if FormatFig11(points) == "" || FormatFig12(points) == "" {
+		t.Fatalf("formatting broken")
+	}
+}
+
+func TestFig7SmallGrid(t *testing.T) {
+	// A reduced grid to keep unit tests quick; the shape assertions are
+	// in the timewarp package and in the bench harness.
+	pts, err := Fig7(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Fig7Curves)*len(Fig7ComputeSweep) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if FormatFig7(pts) == "" {
+		t.Fatalf("format empty")
+	}
+}
+
+func TestFig8SmallGrid(t *testing.T) {
+	pts, err := Fig8(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Fig8Curves)*len(Fig8Fractions) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Speedup decreases (weakly) with fraction written for the s=256
+	// curve ("the speedup decreases slowly as the fraction of the object
+	// being written is increased").
+	var first, last float64
+	for _, p := range pts {
+		if p.ObjectBytes != 256 {
+			continue
+		}
+		if p.Fraction == Fig8Fractions[0] {
+			first = p.Speedup
+		}
+		if p.Fraction == Fig8Fractions[len(Fig8Fractions)-1] {
+			last = p.Speedup
+		}
+	}
+	if last > first*1.05 {
+		t.Fatalf("speedup grew with fraction written: %.2f -> %.2f", first, last)
+	}
+	if FormatFig8(pts) == "" {
+		t.Fatalf("format empty")
+	}
+}
+
+func TestLoggerModelsAblation(t *testing.T) {
+	pts := LoggerModels([]uint64{0, 50, 400}, 1500)
+	for _, p := range pts {
+		// Section 4.6: on-chip logged writes cost essentially the same
+		// as unlogged writes (within a couple of cycles).
+		if p.Compute >= 50 && p.OnChipWrite > p.UnloggedWrite+3 {
+			t.Fatalf("c=%d: on-chip %.1f vs unlogged %.1f", p.Compute, p.OnChipWrite, p.UnloggedWrite)
+		}
+		// And strictly cheaper than the prototype's write-through path.
+		if p.OnChipWrite >= p.PrototypeWrite {
+			t.Fatalf("c=%d: on-chip %.1f not cheaper than prototype %.1f", p.Compute, p.OnChipWrite, p.PrototypeWrite)
+		}
+	}
+	// The prototype overloads at c=0; the on-chip design never does (it
+	// has no overload mechanism at all — it stalls instead).
+	if pts[0].PrototypeOverloads == 0 {
+		t.Fatalf("prototype did not overload at c=0")
+	}
+	if FormatLoggerModels(pts) == "" {
+		t.Fatalf("format empty")
+	}
+}
+
+func TestConsistencyAblation(t *testing.T) {
+	pts, err := Consistency(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	distinct, repeated := pts[0], pts[1]
+	if distinct.LVMCycles >= distinct.MuninCycles {
+		t.Fatalf("distinct: LVM %d not cheaper than Munin %d", distinct.LVMCycles, distinct.MuninCycles)
+	}
+	if repeated.LVMBytes <= repeated.MuninBytes {
+		t.Fatalf("repeated: LVM bytes %d not larger than Munin %d (the acknowledged trade-off)",
+			repeated.LVMBytes, repeated.MuninBytes)
+	}
+}
+
+func TestSetRangeAblation(t *testing.T) {
+	r, err := SetRangeAblation(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.RLVM < r.AmortizedRVM && r.AmortizedRVM < r.PerWriteRVM) {
+		t.Fatalf("ordering wrong: rlvm %.1f, amortized %.1f, per-write %.1f",
+			r.RLVM, r.AmortizedRVM, r.PerWriteRVM)
+	}
+	if FormatSetRange(r) == "" {
+		t.Fatalf("format empty")
+	}
+}
+
+func TestCheckpointStylesAblation(t *testing.T) {
+	pts, err := CheckpointStyles(64, []int{1, 8, 32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With few dirty pages, deferred copy avoids the per-checkpoint
+	// protect-everything cost and wins.
+	if pts[0].DeferredCycles >= pts[0].WriteProtCycles {
+		t.Fatalf("1 dirty page: deferred %d not cheaper than write-protect %d",
+			pts[0].DeferredCycles, pts[0].WriteProtCycles)
+	}
+	if FormatCheckpointStyles(pts) == "" {
+		t.Fatalf("format empty")
+	}
+}
+
+func TestTableRenderer(t *testing.T) {
+	s := Table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.Contains(s, "a") || !strings.Contains(s, "333") {
+		t.Fatalf("table = %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+}
+
+func TestFullStackOnChipAblation(t *testing.T) {
+	pts, err := FullStackOnChip([]uint64{0, 50, 400}, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		// Through the whole VM stack, on-chip logged iterations must
+		// cost within a few cycles of unlogged ones (Section 4.6) — once
+		// there is enough compute for the write buffer to drain. At c=0
+		// the processor stalls on the buffer, "the same as if it is
+		// writing rapidly to a write-through region", which is expected
+		// and far milder than the prototype's overload interrupts.
+		if p.Compute >= 50 && p.OnChipIter > p.UnloggedIter+6 {
+			t.Fatalf("c=%d: on-chip %.1f vs unlogged %.1f", p.Compute, p.OnChipIter, p.UnloggedIter)
+		}
+		// In all cases it beats the prototype's write-through/overload
+		// path.
+		if p.OnChipIter >= p.PrototypeIter {
+			t.Fatalf("c=%d: on-chip %.1f not under prototype %.1f", p.Compute, p.OnChipIter, p.PrototypeIter)
+		}
+	}
+	if FormatFullStack(pts) == "" {
+		t.Fatalf("format empty")
+	}
+}
+
+func TestParallelSimExtension(t *testing.T) {
+	pts, err := ParallelSim(4, 200, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Checksum != pts[1].Checksum || pts[0].Checksum != pts[2].Checksum {
+		t.Fatalf("runs disagree")
+	}
+	if pts[0].Events == 0 || pts[0].Elapsed == 0 {
+		t.Fatalf("empty run: %+v", pts[0])
+	}
+	if FormatParallelSim(pts) == "" {
+		t.Fatalf("format empty")
+	}
+}
+
+func TestOODBTxnLengthSweep(t *testing.T) {
+	pts, err := OODB([]int{1, 8, 32}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RLVM wins at every length, and the advantage grows with
+	// transaction length (the Section 4.2 prediction).
+	var prev float64
+	for _, p := range pts {
+		if p.Speedup <= 1.0 {
+			t.Fatalf("L=%d: RLVM not faster (%.2f)", p.TouchesPerTxn, p.Speedup)
+		}
+		if p.Speedup < prev {
+			t.Fatalf("speedup fell with txn length: %.2f after %.2f", p.Speedup, prev)
+		}
+		prev = p.Speedup
+	}
+	if FormatOODB(pts) == "" {
+		t.Fatalf("format empty")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	OutputCSV = true
+	defer func() { OutputCSV = false }()
+	s := Table([]string{"a", "b"}, [][]string{{"1", "with,comma"}, {"2", `q"q`}})
+	want := "a,b\n1,\"with,comma\"\n2,\"q\"\"q\"\n"
+	if s != want {
+		t.Fatalf("csv = %q, want %q", s, want)
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	a, err := Fig11([]uint64{27}, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig11([]uint64{27}, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("experiment not reproducible: %+v vs %+v", a[0], b[0])
+	}
+}

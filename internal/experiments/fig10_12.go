@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lvm/internal/core"
+)
+
+// loopCfg is the Section 4.5.1 test methodology: "Run several thousand
+// iterations of the following code sequence: (a) Perform c compute
+// cycles (b) Perform w normal write operations (c) Perform l logged write
+// operations. The addresses of the writes and logged writes increase as
+// the test proceeds, so accesses always hit in the second-level cache but
+// not generally in the first-level cache."
+type loopCfg struct {
+	Compute    uint64
+	Writes     int // per iteration
+	Logged     bool
+	OnChip     bool // use the Section 4.6 kernel instead of the prototype
+	Iterations int
+}
+
+// loopResult is one run of the loop.
+type loopResult struct {
+	TotalCycles    uint64 // CPU cycles over the measured iterations
+	CyclesPerIter  float64
+	CyclesPerWrite float64 // (total - compute) / writes
+	Overloads      uint64
+}
+
+const loopRegionBytes = 256 << 10 // 64 pages: far larger than L1
+
+func runLoop(cfg loopCfg) (loopResult, error) {
+	var sys *core.System
+	if cfg.OnChip {
+		sys = core.NewSystemOnChip(core.Config{NumCPUs: 1, MemFrames: 32 << 8})
+	} else {
+		sys = core.NewSystem(core.Config{NumCPUs: 1, MemFrames: 32 << 8})
+	}
+	seg := core.NewNamedSegment(sys, "loop", loopRegionBytes, nil)
+	reg := core.NewStdRegion(sys, seg)
+	if cfg.Logged {
+		pages := uint32(cfg.Iterations*cfg.Writes/256) + 32
+		ls := core.NewLogSegment(sys, pages)
+		if err := reg.Log(ls); err != nil {
+			return loopResult{}, err
+		}
+	}
+	as := sys.NewAddressSpace()
+	base, err := reg.Bind(as, 0)
+	if err != nil {
+		return loopResult{}, err
+	}
+	p := sys.NewProcess(0, as)
+	// Ensure the region is resident ("Ensure the relevant memory regions
+	// are in the second-level cache").
+	for off := uint32(0); off < loopRegionBytes; off += core.PageSize {
+		p.Load32(base + off)
+	}
+	addr := base
+	step := func() {
+		p.Compute(cfg.Compute)
+		for j := 0; j < cfg.Writes; j++ {
+			p.Store32(addr, uint32(addr))
+			addr += 4
+			if addr >= base+loopRegionBytes {
+				addr = base
+			}
+		}
+	}
+	// Warmup, then measure.
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	ovBefore := sys.K.Overloads
+	start := p.Now()
+	for i := 0; i < cfg.Iterations; i++ {
+		step()
+	}
+	elapsed := p.Now() - start
+	res := loopResult{
+		TotalCycles:   elapsed,
+		CyclesPerIter: float64(elapsed) / float64(cfg.Iterations),
+		Overloads:     sys.K.Overloads - ovBefore,
+	}
+	if cfg.Writes > 0 {
+		res.CyclesPerWrite = (float64(elapsed) - float64(cfg.Compute)*float64(cfg.Iterations)) /
+			float64(cfg.Iterations*cfg.Writes)
+	}
+	return res, nil
+}
+
+// Fig10Point is one measurement of Figure 10: cycles per write for write
+// clusters of 2, 4 and 8, with and without logging.
+type Fig10Point struct {
+	Cluster        int
+	Compute        uint64
+	Logged         bool
+	CyclesPerWrite float64
+	Overloads      uint64
+}
+
+// Fig10Clusters and Fig10ComputeSweep define the grid.
+var (
+	Fig10Clusters     = []int{2, 4, 8}
+	Fig10ComputeSweep = []uint64{0, 25, 50, 100, 200, 400, 800, 1600}
+)
+
+// Fig10 measures the grid.
+func Fig10(iterations int) ([]Fig10Point, error) {
+	var out []Fig10Point
+	for _, cl := range Fig10Clusters {
+		for _, logged := range []bool{true, false} {
+			for _, c := range Fig10ComputeSweep {
+				r, err := runLoop(loopCfg{Compute: c, Writes: cl, Logged: logged, Iterations: iterations})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig10Point{
+					Cluster:        cl,
+					Compute:        c,
+					Logged:         logged,
+					CyclesPerWrite: r.CyclesPerWrite,
+					Overloads:      r.Overloads,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatFig10 renders one block per cluster size.
+func FormatFig10(points []Fig10Point) string {
+	s := ""
+	for _, cl := range Fig10Clusters {
+		var rows [][]string
+		for _, c := range Fig10ComputeSweep {
+			row := []string{d(c)}
+			for _, logged := range []bool{true, false} {
+				for _, p := range points {
+					if p.Cluster == cl && p.Compute == c && p.Logged == logged {
+						row = append(row, f1(p.CyclesPerWrite))
+					}
+				}
+			}
+			rows = append(rows, row)
+		}
+		s += fmt.Sprintf("cluster of %d writes:\n", cl)
+		s += Table([]string{"c (cycles)", "with logging", "without logging"}, rows)
+		s += "\n"
+	}
+	return s
+}
+
+// Fig11Point is one measurement of Figures 11 and 12: the total cost per
+// iteration for c in [0..63], w=0, l=1, logged and unlogged, plus the
+// overload-event rate.
+type Fig11Point struct {
+	Compute          uint64
+	LoggedCyclesIter float64
+	PlainCyclesIter  float64
+	OverloadsPer1000 float64
+}
+
+// Fig11ComputeSweep is c = 0..63 (sampled at every 3 to keep runtime
+// proportionate; pass every value for the full curve).
+func Fig11ComputeSweep(stride int) []uint64 {
+	if stride <= 0 {
+		stride = 1
+	}
+	var out []uint64
+	for c := 0; c <= 63; c += stride {
+		out = append(out, uint64(c))
+	}
+	return out
+}
+
+// Fig11 measures the sweep ("a series of tests with c = [0...63], w = 0,
+// and l = 1").
+func Fig11(sweep []uint64, iterations int) ([]Fig11Point, error) {
+	var out []Fig11Point
+	for _, c := range sweep {
+		lg, err := runLoop(loopCfg{Compute: c, Writes: 1, Logged: true, Iterations: iterations})
+		if err != nil {
+			return nil, err
+		}
+		pl, err := runLoop(loopCfg{Compute: c, Writes: 1, Logged: false, Iterations: iterations})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig11Point{
+			Compute:          c,
+			LoggedCyclesIter: lg.CyclesPerIter,
+			PlainCyclesIter:  pl.CyclesPerIter,
+			OverloadsPer1000: 1000 * float64(lg.Overloads) / float64(iterations),
+		})
+	}
+	return out, nil
+}
+
+// FormatFig11 renders the total-cost curves (Figure 11).
+func FormatFig11(points []Fig11Point) string {
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			d(p.Compute), f1(p.LoggedCyclesIter), f1(p.PlainCyclesIter),
+		})
+	}
+	return Table([]string{"c (cycles)", "with logging", "without logging"}, rows)
+}
+
+// FormatFig12 renders the overload-rate curve (Figure 12).
+func FormatFig12(points []Fig11Point) string {
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{d(p.Compute), f2(p.OverloadsPer1000)})
+	}
+	return Table([]string{"c (cycles)", "overloads per 1000 iterations"}, rows)
+}

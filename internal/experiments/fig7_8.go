@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lvm/internal/timewarp"
+)
+
+// Fig7Point is one (curve, c) speedup measurement of Figure 7: LVM versus
+// copy-based checkpointing for the simulated simulation, varying compute
+// cycles per event.
+type Fig7Point struct {
+	Writes      int
+	ObjectBytes uint32
+	Compute     uint64
+	Speedup     float64
+	LVMOverload uint64
+}
+
+// Fig7Curves are the paper's four (w, s) pairs.
+var Fig7Curves = []struct {
+	W int
+	S uint32
+}{
+	{1, 32}, {2, 64}, {4, 128}, {8, 256},
+}
+
+// Fig7ComputeSweep is the c axis.
+var Fig7ComputeSweep = []uint64{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// Fig7 measures every curve point. events sets the measurement length
+// per point (paper: "several thousand"; a few hundred is converged here
+// because the simulator is deterministic).
+func Fig7(events int) ([]Fig7Point, error) {
+	var out []Fig7Point
+	for _, curve := range Fig7Curves {
+		for _, c := range Fig7ComputeSweep {
+			sp, _, lv, err := timewarp.Speedup(c, curve.S, curve.W, events)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig7Point{
+				Writes:      curve.W,
+				ObjectBytes: curve.S,
+				Compute:     c,
+				Speedup:     sp,
+				LVMOverload: lv.Overloads,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatFig7 renders one row per compute value, one column per curve.
+func FormatFig7(points []Fig7Point) string {
+	header := []string{"c (cycles)"}
+	for _, cu := range Fig7Curves {
+		header = append(header, fmt.Sprintf("w=%d,s=%d", cu.W, cu.S))
+	}
+	var rows [][]string
+	for _, c := range Fig7ComputeSweep {
+		row := []string{d(c)}
+		for _, cu := range Fig7Curves {
+			for _, p := range points {
+				if p.Compute == c && p.Writes == cu.W && p.ObjectBytes == cu.S {
+					s := f2(p.Speedup)
+					if p.LVMOverload > 0 {
+						s += "*"
+					}
+					row = append(row, s)
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Table(header, rows) + "(speedup = copy-based time / LVM time; * = logger overloads occurred)\n"
+}
+
+// Fig8Point is one point of Figure 8: speedup versus the fraction of the
+// object written per event, for fixed (s, c) pairs.
+type Fig8Point struct {
+	ObjectBytes uint32
+	Compute     uint64
+	Fraction    float64
+	Writes      int
+	Speedup     float64
+}
+
+// Fig8Curves are the paper's (s, c) pairs.
+var Fig8Curves = []struct {
+	S uint32
+	C uint64
+}{
+	{32, 256}, {64, 512}, {128, 1024}, {256, 2048},
+}
+
+// Fig8Fractions is the fraction-written axis.
+var Fig8Fractions = []float64{0.125, 0.25, 0.5, 0.75, 1.0}
+
+// Fig8 measures every curve point.
+func Fig8(events int) ([]Fig8Point, error) {
+	var out []Fig8Point
+	for _, curve := range Fig8Curves {
+		words := int(curve.S / 4)
+		for _, frac := range Fig8Fractions {
+			w := int(frac * float64(words))
+			if w < 1 {
+				w = 1
+			}
+			sp, _, _, err := timewarp.Speedup(curve.C, curve.S, w, events)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig8Point{
+				ObjectBytes: curve.S,
+				Compute:     curve.C,
+				Fraction:    frac,
+				Writes:      w,
+				Speedup:     sp,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatFig8 renders one row per fraction, one column per curve.
+func FormatFig8(points []Fig8Point) string {
+	header := []string{"fraction"}
+	for _, cu := range Fig8Curves {
+		header = append(header, fmt.Sprintf("s=%d,c=%d", cu.S, cu.C))
+	}
+	var rows [][]string
+	for _, frac := range Fig8Fractions {
+		row := []string{f2(frac)}
+		for _, cu := range Fig8Curves {
+			for _, p := range points {
+				if p.Fraction == frac && p.ObjectBytes == cu.S && p.Compute == cu.C {
+					row = append(row, f2(p.Speedup))
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Table(header, rows)
+}

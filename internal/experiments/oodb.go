@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"lvm/internal/core"
+	"lvm/internal/cycles"
+	"lvm/internal/oodb"
+	"lvm/internal/ramdisk"
+)
+
+// OODBPoint is one transaction-length measurement of the object-database
+// workload: Section 4.2's prediction that "longer transactions would also
+// show greater benefit from LVM, assuming correspondingly more write
+// operations as well. TPC-A is a sequence of simple debit-credit
+// operations. Transactions in object-oriented database systems tend to be
+// longer and involve far more processing."
+type OODBPoint struct {
+	TouchesPerTxn int
+	RVMTPS        float64
+	RLVMTPS       float64
+	Speedup       float64
+}
+
+// OODBTxnLengths is the default sweep of objects touched per transaction.
+var OODBTxnLengths = []int{1, 2, 4, 8, 16, 32}
+
+// OODB runs the transaction-length sweep over both engines.
+func OODB(lengths []int, txns int) ([]OODBPoint, error) {
+	if len(lengths) == 0 {
+		lengths = OODBTxnLengths
+	}
+	cfg := oodb.DefaultConfig()
+	w := oodb.Workload{
+		Objects:          256,
+		UpdatesPerObject: 3,
+		ThinkCycles:      300,
+	}
+	var out []OODBPoint
+	for _, l := range lengths {
+		w.TouchesPerTxn = l
+		pt := OODBPoint{TouchesPerTxn: l}
+
+		{
+			sys := core.NewSystemNoLogger(core.Config{NumCPUs: 1, MemFrames: 16 << 8})
+			p := sys.NewProcess(0, sys.NewAddressSpace())
+			s, err := oodb.OpenRVM(sys, p, cfg, ramdisk.New())
+			if err != nil {
+				return nil, err
+			}
+			if err := w.SeedStore(s); err != nil {
+				return nil, err
+			}
+			elapsed, err := w.Run(s, p, txns)
+			if err != nil {
+				return nil, err
+			}
+			pt.RVMTPS = cycles.CyclesPerSecond * float64(txns) / float64(elapsed)
+		}
+		{
+			sys := core.NewSystem(core.Config{NumCPUs: 1, MemFrames: 16 << 8})
+			p := sys.NewProcess(0, sys.NewAddressSpace())
+			s, err := oodb.OpenRLVM(sys, p, cfg, ramdisk.New())
+			if err != nil {
+				return nil, err
+			}
+			if err := w.SeedStore(s); err != nil {
+				return nil, err
+			}
+			elapsed, err := w.Run(s, p, txns)
+			if err != nil {
+				return nil, err
+			}
+			pt.RLVMTPS = cycles.CyclesPerSecond * float64(txns) / float64(elapsed)
+		}
+		pt.Speedup = pt.RLVMTPS / pt.RVMTPS
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatOODB renders the sweep.
+func FormatOODB(points []OODBPoint) string {
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			d(uint64(p.TouchesPerTxn)), f1(p.RVMTPS), f1(p.RLVMTPS), f2(p.Speedup),
+		})
+	}
+	return Table([]string{"objects/txn", "RVM tps", "RLVM tps", "speedup"}, rows)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lvm/internal/timewarp"
+)
+
+// ParallelSimResult is one complete optimistic simulation run: the
+// end-to-end behaviour the paper's Section 4.3 deliberately factors out
+// ("full simulations using the two forms of state saving are required to
+// provide an accurate indication of overall performance benefit") — this
+// extension experiment runs them.
+type ParallelSimResult struct {
+	Saver      timewarp.SaverKind
+	Lazy       bool
+	Events     uint64
+	Rollbacks  uint64
+	RolledBack uint64
+	Replayed   uint64
+	Elapsed    uint64 // machine cycles (max CPU clock)
+	Checksum   uint32
+}
+
+// ParallelSim runs the synthetic workload to completion on `scheds`
+// schedulers (one CPU each, up to the prototype's four) under the
+// throughput-balanced policy, once per state saver, and verifies both
+// computed the same final state.
+func ParallelSim(scheds int, horizon timewarp.VT, events bool) ([]ParallelSimResult, error) {
+	const totalObjects = 12
+	if totalObjects%scheds != 0 {
+		return nil, fmt.Errorf("experiments: %d objects not divisible by %d schedulers", totalObjects, scheds)
+	}
+	run := func(saver timewarp.SaverKind, lazy bool) (ParallelSimResult, error) {
+		cfg := timewarp.Config{
+			Schedulers:          scheds,
+			ObjectsPerScheduler: totalObjects / scheds,
+			ObjectBytes:         128,
+			Saver:               saver,
+			GVTInterval:         32,
+			LazyCancellation:    lazy,
+			MemFrames:           32 << 8,
+		}
+		h := timewarp.Synthetic{
+			Compute:     800,
+			Writes:      6,
+			ObjectWords: 32,
+			Horizon:     horizon,
+			MaxDelay:    6,
+			NumObjects:  totalObjects,
+		}
+		sim, err := timewarp.New(cfg, h)
+		if err != nil {
+			return ParallelSimResult{}, err
+		}
+		for i := uint32(0); i < totalObjects; i++ {
+			sim.Inject(0, i, 7000+i*11)
+		}
+		elapsed := sim.Run(timewarp.PolicyLeastCycles)
+		st := sim.TotalStats()
+		var sum uint32
+		for obj := uint32(0); obj < totalObjects; obj++ {
+			for w := 0; w < 32; w++ {
+				sum = sum*31 + sim.ObjectWord(obj, w)
+			}
+		}
+		return ParallelSimResult{
+			Saver:      saver,
+			Lazy:       lazy,
+			Events:     st.Events,
+			Rollbacks:  st.Rollbacks,
+			RolledBack: st.RolledBack,
+			Replayed:   st.Replayed,
+			Elapsed:    elapsed,
+			Checksum:   sum,
+		}, nil
+	}
+	lv, err := run(timewarp.SaverLVM, false)
+	if err != nil {
+		return nil, err
+	}
+	lz, err := run(timewarp.SaverLVM, true)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := run(timewarp.SaverCopy, false)
+	if err != nil {
+		return nil, err
+	}
+	if lv.Checksum != cp.Checksum || lv.Checksum != lz.Checksum {
+		return nil, fmt.Errorf("experiments: runs disagree: %08x / %08x / %08x", lv.Checksum, lz.Checksum, cp.Checksum)
+	}
+	return []ParallelSimResult{lv, lz, cp}, nil
+}
+
+// FormatParallelSim renders the comparison.
+func FormatParallelSim(points []ParallelSimResult) string {
+	var rows [][]string
+	for _, p := range points {
+		name := p.Saver.String()
+		if p.Lazy {
+			name += "+lazy"
+		}
+		rows = append(rows, []string{
+			name, d(p.Events), d(p.Rollbacks), d(p.RolledBack),
+			d(p.Replayed), d(p.Elapsed), fmt.Sprintf("%08x", p.Checksum),
+		})
+	}
+	return Table([]string{"saver", "events", "rollbacks", "undone", "replayed", "elapsed cycles", "checksum"}, rows)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"lvm/internal/core"
+	"lvm/internal/ramdisk"
+	"lvm/internal/rlvm"
+	"lvm/internal/rvm"
+	"lvm/internal/tpca"
+)
+
+// Table3Result reproduces Table 3: the cost of a single recoverable write
+// and TPC-A throughput under RVM and RLVM.
+type Table3Result struct {
+	// Single recoverable write, cycles (paper: 3515 vs 16). Both include
+	// the measurement loop's ~10-cycle per-iteration overhead, as the
+	// prototype measurement did.
+	RVMWriteCycles  float64
+	RLVMWriteCycles float64
+
+	// TPC-A (paper: 418 vs 552 trans/sec).
+	RVMTPS           float64
+	RLVMTPS          float64
+	RLVMEstimatedTPS float64 // the paper's footnote-4 estimation method
+	RVMInTxnFrac     float64
+	RLVMInTxnFrac    float64
+}
+
+// loopOverheadCycles models the measurement loop (address update, loop
+// branch) around each recoverable write, as in the prototype's benchmark.
+const loopOverheadCycles = 10
+
+// Table3 runs both measurements.
+func Table3(txns int) (Table3Result, error) {
+	var res Table3Result
+
+	// --- Single recoverable write ---
+	{
+		sys := core.NewSystemNoLogger(core.Config{NumCPUs: 1, MemFrames: 2048})
+		p := sys.NewProcess(0, sys.NewAddressSpace())
+		m, err := rvm.New(sys, p, 4*core.PageSize, ramdisk.New(), rvm.Options{})
+		if err != nil {
+			return res, err
+		}
+		if err := m.Begin(); err != nil {
+			return res, err
+		}
+		const n = 200
+		m.RecoverableWrite32(m.Base(), 0) // warm
+		start := p.Now()
+		for i := uint32(0); i < n; i++ {
+			p.Compute(loopOverheadCycles)
+			if err := m.RecoverableWrite32(m.Base(), i); err != nil {
+				return res, err
+			}
+		}
+		res.RVMWriteCycles = float64(p.Now()-start) / n
+	}
+	{
+		sys := core.NewSystem(core.Config{NumCPUs: 1, MemFrames: 4096})
+		p := sys.NewProcess(0, sys.NewAddressSpace())
+		m, err := rlvm.New(sys, p, 4*core.PageSize, ramdisk.New(), rlvm.Options{LogPages: 64})
+		if err != nil {
+			return res, err
+		}
+		if err := m.Begin(); err != nil {
+			return res, err
+		}
+		const n = 200
+		m.RecoverableWrite32(m.Base(), 0) // warm
+		start := p.Now()
+		for i := uint32(0); i < n; i++ {
+			p.Compute(loopOverheadCycles)
+			if err := m.RecoverableWrite32(m.Base(), i); err != nil {
+				return res, err
+			}
+		}
+		res.RLVMWriteCycles = float64(p.Now()-start) / n
+	}
+
+	// --- TPC-A ---
+	cfg := tpca.DefaultConfig()
+	if txns > 0 {
+		cfg.Txns = txns
+	}
+	rvmRes, _, err := tpca.RunRVM(cfg)
+	if err != nil {
+		return res, err
+	}
+	rlvmRes, _, err := tpca.RunRLVM(cfg)
+	if err != nil {
+		return res, err
+	}
+	res.RVMTPS = rvmRes.TPS
+	res.RLVMTPS = rlvmRes.TPS
+	res.RLVMEstimatedTPS = tpca.EstimateRLVMTPS(rlvmRes, rvmRes)
+	res.RVMInTxnFrac = rvmRes.InTxnFrac
+	res.RLVMInTxnFrac = rlvmRes.InTxnFrac
+	return res, nil
+}
+
+// FormatTable3 renders the result alongside the paper's values.
+func FormatTable3(r Table3Result) string {
+	rows := [][]string{
+		{"Single write (cycles)", f1(r.RVMWriteCycles), f1(r.RLVMWriteCycles), "3515", "16"},
+		{"TPC-A (trans/sec)", f1(r.RVMTPS), f1(r.RLVMTPS), "418", "552"},
+		{"TPC-A est. (footnote 4)", "-", f1(r.RLVMEstimatedTPS), "-", "552"},
+		{"In-transaction fraction", f2(r.RVMInTxnFrac), f2(r.RLVMInTxnFrac), "~0.25", "<0.10"},
+	}
+	return Table([]string{"Benchmark", "RVM", "RLVM", "paper-RVM", "paper-RLVM"}, rows)
+}

@@ -1,0 +1,359 @@
+// Package hwlogger models the prototype's hardware logger: the FPGA device
+// on the ParaDiGM bus that snoops write operations to logged segments and
+// translates each into a 16-byte log record DMAed into a log segment
+// (Section 3.1 and Figures 4–6 of the paper).
+//
+// Structure (Figure 5):
+//
+//	snoop → write FIFO → page-mapping-table lookup → log-table lookup →
+//	log-record FIFO → DMA
+//
+// The page mapping table is a direct-mapped, TLB-like structure keyed by
+// the 20-bit physical page number: the low 15 bits index the table, the
+// top 5 bits are the tag (Section 3.1: "A physical page address is looked
+// up in this table by splitting it into a tag (upper five bits) and index
+// (lower 15 bits)"). Each entry names a log-table index; the log table
+// holds one entry per log with the physical address at which the next
+// record is written. Appending a record advances that address by 16; if it
+// crosses a page boundary the entry is marked invalid and the next write
+// to the log raises a logging fault for the kernel to resolve.
+//
+// The FIFOs hold 819 entries; when occupancy exceeds 512 the logger is
+// "overloaded" and interrupts the kernel, which suspends all processes
+// that might generate log data until the FIFOs drain (Section 3.1.3).
+package hwlogger
+
+import (
+	"lvm/internal/bus"
+	"lvm/internal/cycles"
+	"lvm/internal/logrec"
+	"lvm/internal/machine"
+	"lvm/internal/phys"
+)
+
+// Mode selects how the logger materializes writes into the log segment
+// (Section 2.6: record mode is the default; direct-mapped and indexed
+// modes support output).
+type Mode uint8
+
+const (
+	// ModeRecord appends a 16-byte record per write (the default).
+	ModeRecord Mode = iota
+	// ModeDirect writes the datum at the corresponding offset in the log
+	// page ("the logged updates to a segment are written to the
+	// corresponding offset in the log segment").
+	ModeDirect
+	// ModeIndexed appends just the data values, 4 bytes each, without
+	// addresses or timestamps ("the log generates a sequence of data
+	// values into the log segment").
+	ModeIndexed
+)
+
+// PMT geometry.
+const (
+	pmtIndexBits = 15
+	pmtEntries   = 1 << pmtIndexBits
+	pmtIndexMask = pmtEntries - 1
+)
+
+// PMTEntry is one page-mapping-table entry: physical page → log index.
+type PMTEntry struct {
+	Valid    bool
+	Tag      uint8 // top 5 bits of the 20-bit PPN
+	LogIndex uint16
+}
+
+// LogTableEntry holds the next record address for one log.
+type LogTableEntry struct {
+	Valid bool
+	Mode  Mode
+	// Addr is the physical address at which the next record is written.
+	// In ModeDirect it is the base of the log page mirroring the data
+	// page and is never advanced.
+	Addr phys.Addr
+}
+
+// FaultKind distinguishes the two logging-fault causes (Section 3.2).
+type FaultKind uint8
+
+const (
+	// FaultMissingPMT: the written page has no (or a conflicting)
+	// page-mapping-table entry.
+	FaultMissingPMT FaultKind = iota
+	// FaultInvalidLogAddr: the log-table entry is invalid, typically
+	// because the log address just crossed a page boundary.
+	FaultInvalidLogAddr
+)
+
+// Fault describes a logging fault delivered to the kernel.
+type Fault struct {
+	Kind FaultKind
+	// PPN is the physical page number of the faulting write.
+	PPN uint32
+	// LogIndex is the log involved (valid for FaultInvalidLogAddr and
+	// for FaultMissingPMT when the conflicting entry was valid).
+	LogIndex uint16
+	// Write is the logged write being serviced.
+	Write machine.LoggedWrite
+}
+
+// FaultHandler is the kernel's logging-fault handler. It must repair the
+// logger's tables (LoadPMT / SetLogHead) and return true, or return false
+// to drop the record (the kernel "needs to be prepared to discard data",
+// Section 3.2).
+type FaultHandler func(l *Logger, f Fault) bool
+
+// Logger is the hardware logger device. It satisfies machine.LogDevice.
+type Logger struct {
+	bus *bus.Bus
+	mem *phys.Memory
+
+	pmt      []PMTEntry
+	logTable []LogTableEntry
+
+	// fifo is the combined occupancy of the write FIFO and log-record
+	// FIFO (entries not yet DMAed).
+	fifo     []machine.LoggedWrite
+	fifoHead int
+
+	// freeAt is when the logger engine finishes its current service.
+	freeAt uint64
+
+	// OnFault is the kernel's logging-fault handler.
+	OnFault FaultHandler
+	// OnOverload, if set, is invoked on each overload event with the
+	// cycle at which the drain completed; it returns the cycle at which
+	// the processors may resume (the kernel adds its software overhead).
+	// If nil, the default adds cycles.OverloadKernelCycles.
+	OnOverload func(drainedAt uint64) (resumeAt uint64)
+
+	// Capacity and threshold, configurable for experiments; defaults are
+	// the prototype's 819/512.
+	Capacity  int
+	Threshold int
+
+	// Stats.
+	RecordsWritten uint64
+	RecordsLost    uint64
+	Overloads      uint64
+	Faults         uint64
+	StallCycles    uint64
+}
+
+// New creates a logger attached to the given bus and memory.
+func New(b *bus.Bus, mem *phys.Memory) *Logger {
+	return &Logger{
+		bus:       b,
+		mem:       mem,
+		pmt:       make([]PMTEntry, pmtEntries),
+		logTable:  make([]LogTableEntry, 256),
+		Capacity:  cycles.LoggerFIFOEntries,
+		Threshold: cycles.LoggerOverloadThreshold,
+	}
+}
+
+// Pending reports the current combined FIFO occupancy.
+func (l *Logger) Pending() int { return len(l.fifo) - l.fifoHead }
+
+// FreeAt reports when the logger engine is next idle.
+func (l *Logger) FreeAt() uint64 { return l.freeAt }
+
+// --- Kernel-facing table management (Section 3.2) ---
+
+// LoadPMT installs a page-mapping-table entry for the given physical page,
+// returning the entry it displaced (valid==false if none).
+func (l *Logger) LoadPMT(ppn uint32, logIndex uint16) (displaced PMTEntry) {
+	idx := ppn & pmtIndexMask
+	displaced = l.pmt[idx]
+	l.pmt[idx] = PMTEntry{Valid: true, Tag: uint8(ppn >> pmtIndexBits), LogIndex: logIndex}
+	return displaced
+}
+
+// InvalidatePMT removes the entry for ppn if it maps that page.
+func (l *Logger) InvalidatePMT(ppn uint32) {
+	idx := ppn & pmtIndexMask
+	if l.pmt[idx].Valid && l.pmt[idx].Tag == uint8(ppn>>pmtIndexBits) {
+		l.pmt[idx].Valid = false
+	}
+}
+
+// LookupPMT reports the log index for ppn, if mapped.
+func (l *Logger) LookupPMT(ppn uint32) (logIndex uint16, ok bool) {
+	e := l.pmt[ppn&pmtIndexMask]
+	if e.Valid && e.Tag == uint8(ppn>>pmtIndexBits) {
+		return e.LogIndex, true
+	}
+	return 0, false
+}
+
+// SetLogHead sets the next-record address (and mode) for a log.
+func (l *Logger) SetLogHead(logIndex uint16, addr phys.Addr, mode Mode) {
+	l.logTable[logIndex] = LogTableEntry{Valid: true, Mode: mode, Addr: addr}
+}
+
+// InvalidateLog marks a log-table entry invalid.
+func (l *Logger) InvalidateLog(logIndex uint16) { l.logTable[logIndex].Valid = false }
+
+// LogHead reports a log's table entry (for tests and the kernel).
+func (l *Logger) LogHead(logIndex uint16) LogTableEntry { return l.logTable[logIndex] }
+
+// NumLogs reports the log-table capacity.
+func (l *Logger) NumLogs() int { return len(l.logTable) }
+
+// --- machine.LogDevice ---
+
+// Snoop accepts a logged write from the bus. When the combined FIFO
+// occupancy exceeds the overload threshold, the logger interrupts the
+// kernel, which suspends the processors until the FIFOs drain; Snoop
+// models that by returning the resume cycle.
+func (l *Logger) Snoop(w machine.LoggedWrite) (stallUntil uint64) {
+	l.push(w)
+	if l.Pending() >= l.Threshold {
+		l.Overloads++
+		drained := l.DrainAll()
+		if l.OnOverload != nil {
+			return l.OnOverload(drained)
+		}
+		return drained + cycles.OverloadKernelCycles
+	}
+	return w.Time
+}
+
+// PumpUntil services queued writes whose DMA would request the bus before
+// cycle t (the arrival time of the next competing bus request). Records
+// whose bus request would come later wait their turn: arbitration is
+// first-come-first-served by request time, so the logger does not reserve
+// future bus slots ahead of an earlier CPU request.
+func (l *Logger) PumpUntil(t uint64) {
+	for l.Pending() > 0 {
+		start := l.freeAt
+		if e := l.fifo[l.fifoHead]; e.Time > start {
+			start = e.Time
+		}
+		if start+cycles.LoggerLookupCycles >= t {
+			return
+		}
+		l.serviceOne()
+	}
+}
+
+// DrainAll services everything queued and returns the idle cycle.
+func (l *Logger) DrainAll() uint64 {
+	for l.Pending() > 0 {
+		l.serviceOne()
+	}
+	return l.freeAt
+}
+
+func (l *Logger) push(w machine.LoggedWrite) {
+	if l.Pending() >= l.Capacity {
+		// Cannot happen with threshold < capacity, but never lose the
+		// accounting if an experiment disables overloads.
+		l.RecordsLost++
+		return
+	}
+	l.fifo = append(l.fifo, w)
+}
+
+func (l *Logger) pop() machine.LoggedWrite {
+	w := l.fifo[l.fifoHead]
+	l.fifoHead++
+	if l.fifoHead >= 4096 && l.fifoHead == len(l.fifo) {
+		l.fifo = l.fifo[:0]
+		l.fifoHead = 0
+	} else if l.fifoHead >= 8192 {
+		n := copy(l.fifo, l.fifo[l.fifoHead:])
+		l.fifo = l.fifo[:n]
+		l.fifoHead = 0
+	}
+	return w
+}
+
+// serviceOne processes the FIFO head: PMT lookup, log-table lookup, record
+// assembly, and DMA, raising logging faults to the kernel as needed.
+func (l *Logger) serviceOne() {
+	e := l.pop()
+	start := l.freeAt
+	if e.Time > start {
+		start = e.Time
+	}
+
+	ppn := phys.PPN(e.Addr)
+	logIndex, ok := l.LookupPMT(ppn)
+	if !ok {
+		l.Faults++
+		start += cycles.LoggingFaultCycles
+		if l.OnFault == nil || !l.OnFault(l, Fault{Kind: FaultMissingPMT, PPN: ppn, Write: e}) {
+			l.RecordsLost++
+			l.freeAt = start
+			return
+		}
+		logIndex, ok = l.LookupPMT(ppn)
+		if !ok {
+			l.RecordsLost++
+			l.freeAt = start
+			return
+		}
+	}
+	lt := &l.logTable[logIndex]
+	if !lt.Valid {
+		l.Faults++
+		start += cycles.LoggingFaultCycles
+		if l.OnFault == nil || !l.OnFault(l, Fault{Kind: FaultInvalidLogAddr, PPN: ppn, LogIndex: logIndex, Write: e}) {
+			l.RecordsLost++
+			l.freeAt = start
+			return
+		}
+		lt = &l.logTable[logIndex]
+		if !lt.Valid {
+			l.RecordsLost++
+			l.freeAt = start
+			return
+		}
+	}
+
+	// Internal lookup/assembly time, then the DMA. The DMA holds the bus
+	// for LogRecordDMABus cycles and completes LogRecordDMATotal cycles
+	// after it begins, so one uncontended record service costs
+	// LoggerLookupCycles + LogRecordDMATotal = 33 cycles.
+	dmaReady := start + cycles.LoggerLookupCycles
+	grant := l.bus.Acquire(dmaReady, cycles.LogRecordDMABus)
+	complete := grant + cycles.LogRecordDMATotal
+
+	switch lt.Mode {
+	case ModeRecord:
+		rec := logrec.Record{
+			Addr:      e.Addr,
+			Value:     e.Value,
+			WriteSize: e.Size,
+			CPU:       e.CPU,
+			Timestamp: cycles.ToTimestamp(e.Time),
+		}
+		var buf [logrec.Size]byte
+		rec.Encode(buf[:])
+		l.mem.Write(lt.Addr, buf[:])
+		lt.Addr += logrec.Size
+		if lt.Addr&phys.PageMask == 0 {
+			lt.Valid = false
+		}
+	case ModeDirect:
+		dst := lt.Addr + (e.Addr & phys.PageMask)
+		var buf [4]byte
+		n := int(e.Size)
+		if n > 4 {
+			n = 4
+		}
+		for i := 0; i < n; i++ {
+			buf[i] = byte(e.Value >> (8 * i))
+		}
+		l.mem.Write(dst, buf[:n])
+	case ModeIndexed:
+		l.mem.Write32(lt.Addr, e.Value)
+		lt.Addr += 4
+		if lt.Addr&phys.PageMask == 0 {
+			lt.Valid = false
+		}
+	}
+	l.RecordsWritten++
+	l.freeAt = complete
+}

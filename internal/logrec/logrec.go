@@ -1,0 +1,107 @@
+// Package logrec defines the 16-byte log record produced by the hardware
+// logger and utilities to encode, decode and scan sequences of records.
+//
+// Section 3.1 of the paper: "It places the log address and a 16-byte log
+// record in the log record FIFO. The log record contains the original data
+// address, value written, size of the write, and a high-resolution
+// timestamp (6.25 MHz)."
+//
+// On-disk/in-memory layout (little endian):
+//
+//	offset  size  field
+//	0       4     address (physical in the prototype, virtual with the
+//	              on-chip logger of Section 4.6)
+//	4       4     value written (low bytes significant for size < 4)
+//	8       2     size of the write in bytes (1, 2, 4 or 8; an 8-byte
+//	              write is emitted as two 4-byte records by the 32-bit
+//	              prototype, so 8 never appears on the bus there)
+//	10      2     CPU number that issued the write
+//	12      4     timestamp (6.25 MHz ticks)
+package logrec
+
+import "fmt"
+
+// Size is the size of one encoded log record in bytes.
+const Size = 16
+
+// Record is one logged write.
+type Record struct {
+	Addr      uint32 // address written
+	Value     uint32 // datum written
+	WriteSize uint16 // size of the write in bytes
+	CPU       uint16 // processor that issued the write
+	Timestamp uint32 // 6.25 MHz logger clock
+}
+
+// Encode writes the record into dst, which must be at least Size bytes.
+func (r Record) Encode(dst []byte) {
+	_ = dst[Size-1]
+	put32(dst[0:], r.Addr)
+	put32(dst[4:], r.Value)
+	put16(dst[8:], r.WriteSize)
+	put16(dst[10:], r.CPU)
+	put32(dst[12:], r.Timestamp)
+}
+
+// Decode parses a record from src, which must be at least Size bytes.
+func Decode(src []byte) Record {
+	_ = src[Size-1]
+	return Record{
+		Addr:      get32(src[0:]),
+		Value:     get32(src[4:]),
+		WriteSize: get16(src[8:]),
+		CPU:       get16(src[10:]),
+		Timestamp: get32(src[12:]),
+	}
+}
+
+// String renders the record in the style of the worked example in
+// Section 3.1.1 of the paper.
+func (r Record) String() string {
+	return fmt.Sprintf("%08x %08x %04x cpu%d @%d", r.Addr, r.Value, r.WriteSize, r.CPU, r.Timestamp)
+}
+
+// ValueBytes returns the WriteSize low-order bytes of Value in
+// little-endian order, i.e. the bytes that were stored at Addr.
+func (r Record) ValueBytes() []byte {
+	n := int(r.WriteSize)
+	if n > 4 {
+		n = 4
+	}
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b[i] = byte(r.Value >> (8 * i))
+	}
+	return b
+}
+
+// DecodeAll parses a packed sequence of records. Trailing bytes that do not
+// form a full record are ignored.
+func DecodeAll(src []byte) []Record {
+	n := len(src) / Size
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Decode(src[i*Size:]))
+	}
+	return out
+}
+
+func put32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func put16(b []byte, v uint16) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+}
+
+func get32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func get16(b []byte) uint16 {
+	return uint16(b[0]) | uint16(b[1])<<8
+}

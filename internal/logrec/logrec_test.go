@@ -1,0 +1,72 @@
+package logrec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := Record{Addr: 0x1250, Value: 0x4321, WriteSize: 4, CPU: 2, Timestamp: 99}
+	var buf [Size]byte
+	r.Encode(buf[:])
+	got := Decode(buf[:])
+	if got != r {
+		t.Fatalf("round trip: got %+v, want %+v", got, r)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(addr, value, ts uint32, size, cpu uint16) bool {
+		r := Record{Addr: addr, Value: value, WriteSize: size, CPU: cpu, Timestamp: ts}
+		var buf [Size]byte
+		r.Encode(buf[:])
+		return Decode(buf[:]) == r
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueBytes(t *testing.T) {
+	r := Record{Value: 0x11223344, WriteSize: 4}
+	b := r.ValueBytes()
+	want := []byte{0x44, 0x33, 0x22, 0x11}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ValueBytes[%d] = %#x, want %#x", i, b[i], want[i])
+		}
+	}
+	r2 := Record{Value: 0xAB, WriteSize: 1}
+	if b := r2.ValueBytes(); len(b) != 1 || b[0] != 0xAB {
+		t.Fatalf("ValueBytes size 1 = %v", b)
+	}
+	r3 := Record{Value: 0xBEEF, WriteSize: 2}
+	if b := r3.ValueBytes(); len(b) != 2 || b[0] != 0xEF || b[1] != 0xBE {
+		t.Fatalf("ValueBytes size 2 = %v", b)
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	var buf [Size*3 + 7]byte // trailing partial record ignored
+	for i := 0; i < 3; i++ {
+		Record{Addr: uint32(i), Value: uint32(i * 10), WriteSize: 4}.Encode(buf[i*Size:])
+	}
+	recs := DecodeAll(buf[:])
+	if len(recs) != 3 {
+		t.Fatalf("DecodeAll returned %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Addr != uint32(i) || r.Value != uint32(i*10) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	// The worked example of Section 3.1.1: write of 0x4321 to 0x1250.
+	r := Record{Addr: 0x1250, Value: 0x4321, WriteSize: 4, CPU: 0, Timestamp: 7}
+	s := r.String()
+	if s != "00001250 00004321 0004 cpu0 @7" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,254 @@
+// Package machine models the ParaDiGM multiprocessor of the LVM prototype:
+// four (configurable) 25 MHz processors with on-chip split I/D caches, a
+// shared system bus, a 4 MiB second-level cache, physical memory, and an
+// attached bus-snooping log device.
+//
+// The model is a deterministic, single-threaded, cycle-level simulation.
+// Each CPU carries its own cycle clock; the bus serializes all off-chip
+// traffic on a shared timeline; the log device (the hardware logger of
+// Section 3.1, or the on-chip logger of Section 4.6) is pumped lazily so
+// that its DMA traffic competes with CPU traffic for the bus exactly as in
+// the prototype. All costs are calibrated to Table 2 of the paper; see
+// package cycles.
+//
+// The Go runtime cannot trap individual stores the way the prototype's
+// write-through cache plus bus snoop can, so application stores are issued
+// through explicit CPU operations (WordWrite, with the write-through and
+// logged attributes supplied by the virtual-memory layer). This preserves
+// the paper's data path — store, bus, snoop, FIFO, DMA — while remaining
+// portable; see DESIGN.md for the substitution rationale.
+package machine
+
+import (
+	"lvm/internal/bus"
+	"lvm/internal/cache"
+	"lvm/internal/cycles"
+	"lvm/internal/phys"
+)
+
+// LoggedWrite is one write operation observed on the bus with the "logged"
+// tag asserted (Section 3.1: "a bus signal controlled by the page mapping
+// associated with the address indicates whether the write operation is to
+// be logged").
+type LoggedWrite struct {
+	Addr  phys.Addr // physical address of the write
+	VAddr uint32    // virtual address (used by the on-chip logger of Section 4.6; 0 if unknown)
+	Value uint32    // datum written
+	Size  uint16    // size in bytes (1, 2 or 4)
+	CPU   uint16    // issuing processor
+	Time  uint64    // bus cycle at which the write completed
+}
+
+// LogDevice is the interface between the machine and a logging device.
+// The prototype's bus logger (package hwlogger) and the next-generation
+// on-chip logger (package tlblog) both satisfy it.
+type LogDevice interface {
+	// Snoop delivers a logged write to the device. If the device must
+	// stall the processors (FIFO overload in the prototype, write-buffer
+	// stall on-chip), it returns the cycle until which the issuing CPU
+	// is stalled; otherwise it returns w.Time.
+	Snoop(w LoggedWrite) (stallUntil uint64)
+	// PumpUntil lets the device perform any internal processing whose
+	// service would begin before cycle t, acquiring the bus as needed.
+	// The machine calls this before every CPU bus request so the
+	// device's DMA traffic interleaves with CPU traffic.
+	PumpUntil(t uint64)
+	// DrainAll completes all pending device work and returns the cycle
+	// at which the device went idle.
+	DrainAll() uint64
+}
+
+// Config describes a machine.
+type Config struct {
+	// NumCPUs is the processor count (the prototype has four).
+	NumCPUs int
+	// MemFrames is the physical memory size in 4 KiB frames.
+	MemFrames int
+}
+
+// DefaultConfig is the ParaDiGM prototype configuration with 64 MiB of
+// physical memory.
+func DefaultConfig() Config {
+	return Config{NumCPUs: 4, MemFrames: 64 << 8} // 16384 frames = 64 MiB
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	Phys *phys.Memory
+	Bus  *bus.Bus
+	Log  LogDevice // nil when no logger is attached
+	CPUs []*CPU
+}
+
+// New creates a machine. The log device, if any, is attached afterwards by
+// assigning Machine.Log (the virtual-memory layer does this, since the
+// logger's fault handling lives in the kernel).
+func New(cfg Config) *Machine {
+	if cfg.NumCPUs <= 0 {
+		cfg.NumCPUs = 1
+	}
+	if cfg.MemFrames <= 0 {
+		cfg.MemFrames = 64 << 8
+	}
+	m := &Machine{
+		Phys: phys.NewMemory(cfg.MemFrames),
+		Bus:  bus.New(),
+	}
+	for i := 0; i < cfg.NumCPUs; i++ {
+		m.CPUs = append(m.CPUs, &CPU{ID: i, D1: cache.NewL1(), m: m})
+	}
+	return m
+}
+
+// CPU is one simulated processor with its own cycle clock and on-chip data
+// cache model.
+type CPU struct {
+	ID int
+	// Now is this processor's cycle clock.
+	Now uint64
+	// D1 is the on-chip data cache cost model.
+	D1 *cache.L1
+	m  *Machine
+
+	// Stats.
+	ComputeCycles uint64
+	Loads         uint64
+	Stores        uint64
+	StallCycles   uint64
+}
+
+// Machine returns the machine this CPU belongs to.
+func (c *CPU) Machine() *Machine { return c.m }
+
+// Compute advances the CPU clock by n cycles of pure computation.
+func (c *CPU) Compute(n uint64) {
+	c.Now += n
+	c.ComputeCycles += n
+}
+
+// pump lets the log device claim bus slots that become serviceable before
+// the CPU's next request.
+func (m *Machine) pump(t uint64) {
+	if m.Log != nil {
+		m.Log.PumpUntil(t)
+	}
+}
+
+// WordWrite performs one data write of the given size at physical address
+// paddr, virtual address vaddr (carried for log devices that record
+// virtual addresses, Section 4.6). writeThrough selects the on-chip cache
+// mode for the page (the kernel puts logged pages in write-through mode,
+// Section 3.2); logged asserts the bus "log this" tag.
+//
+// A write-through write costs 6 cycles (5 on the bus, Table 2). A
+// write-back write is an L1 cache access: a hit costs 1 cycle; a miss
+// fills the line from the second-level cache (9 cycles, 8 bus), first
+// writing back a dirty victim if necessary (9 cycles, 8 bus).
+func (c *CPU) WordWrite(paddr phys.Addr, vaddr uint32, value uint32, size uint16, writeThrough, logged bool) {
+	c.Stores++
+	if writeThrough {
+		c.m.pump(c.Now)
+		lead := uint64(cycles.WordWriteThroughTotal - cycles.WordWriteThroughBus)
+		grant := c.m.Bus.Acquire(c.Now+lead, cycles.WordWriteThroughBus)
+		done := grant + cycles.WordWriteThroughBus
+		c.StallCycles += grant - (c.Now + lead)
+		c.Now = done
+		// Update the L1 copy if present (write-through, no allocate).
+		c.D1.WriteNoAllocate(paddr)
+		if logged && c.m.Log != nil {
+			if stall := c.m.Log.Snoop(LoggedWrite{
+				Addr: paddr, VAddr: vaddr, Value: value, Size: size,
+				CPU: uint16(c.ID), Time: done,
+			}); stall > c.Now {
+				c.StallCycles += stall - c.Now
+				c.Now = stall
+			}
+		}
+		return
+	}
+	ev := c.D1.Access(paddr, true)
+	c.chargeL1(ev)
+	if logged && c.m.Log != nil {
+		// Write-back logged writes exist only with on-chip logging
+		// support (Section 4.6): the CPU itself emits the record, so no
+		// write-through is needed to make the write visible.
+		if stall := c.m.Log.Snoop(LoggedWrite{
+			Addr: paddr, VAddr: vaddr, Value: value, Size: size,
+			CPU: uint16(c.ID), Time: c.Now,
+		}); stall > c.Now {
+			c.StallCycles += stall - c.Now
+			c.Now = stall
+		}
+	}
+}
+
+// WordRead performs one data read at paddr, charging L1/L2 costs.
+func (c *CPU) WordRead(paddr phys.Addr) {
+	c.Loads++
+	ev := c.D1.Access(paddr, false)
+	c.chargeL1(ev)
+}
+
+func (c *CPU) chargeL1(ev cache.Event) {
+	if ev.Hit {
+		c.Now += cycles.L1HitCycles
+		return
+	}
+	if ev.WritebackVictim {
+		c.BlockWrite()
+	}
+	c.BlockRead()
+	c.Now += cycles.L1HitCycles
+}
+
+// BlockRead charges one 16-byte block read from the second-level cache
+// (9 cycles total, 8 bus).
+func (c *CPU) BlockRead() {
+	c.m.pump(c.Now)
+	grant := c.m.Bus.Acquire(c.Now+uint64(cycles.BlockWriteTotal-cycles.BlockWriteBus), cycles.BlockWriteBus)
+	c.Now = grant + cycles.BlockWriteBus
+}
+
+// BlockWrite charges one 16-byte block write to the second-level cache
+// (9 cycles total, 8 bus).
+func (c *CPU) BlockWrite() {
+	c.m.pump(c.Now)
+	grant := c.m.Bus.Acquire(c.Now+uint64(cycles.BlockWriteTotal-cycles.BlockWriteBus), cycles.BlockWriteBus)
+	c.Now = grant + cycles.BlockWriteBus
+}
+
+// StallAll suspends every processor until cycle t (used by the kernel's
+// logger-overload handling: "The kernel responds to the interrupt by
+// suspending all processes that might be generating log data until the
+// FIFOs drain", Section 3.1.3).
+func (m *Machine) StallAll(t uint64) {
+	for _, c := range m.CPUs {
+		if c.Now < t {
+			c.StallCycles += t - c.Now
+			c.Now = t
+		}
+	}
+}
+
+// MaxNow returns the latest CPU clock, i.e. the machine's elapsed time.
+func (m *Machine) MaxNow() uint64 {
+	var mx uint64
+	for _, c := range m.CPUs {
+		if c.Now > mx {
+			mx = c.Now
+		}
+	}
+	return mx
+}
+
+// Drain completes all pending log-device work and returns the cycle at
+// which the whole machine (CPUs and devices) went idle.
+func (m *Machine) Drain() uint64 {
+	idle := m.MaxNow()
+	if m.Log != nil {
+		if t := m.Log.DrainAll(); t > idle {
+			idle = t
+		}
+	}
+	return idle
+}

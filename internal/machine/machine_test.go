@@ -1,0 +1,201 @@
+package machine
+
+import (
+	"testing"
+
+	"lvm/internal/cycles"
+	"lvm/internal/phys"
+)
+
+func TestWordWriteThroughCost(t *testing.T) {
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	c := m.CPUs[0]
+	f, _ := m.Phys.Alloc()
+	addr := phys.FrameBase(f)
+	c.WordWrite(addr, addr, 1, 4, true, false)
+	if c.Now != cycles.WordWriteThroughTotal {
+		t.Fatalf("write-through cost = %d, want %d (Table 2)", c.Now, cycles.WordWriteThroughTotal)
+	}
+}
+
+func TestBlockOpsCost(t *testing.T) {
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	c := m.CPUs[0]
+	c.BlockWrite()
+	if c.Now != cycles.BlockWriteTotal {
+		t.Fatalf("block write cost = %d, want %d (Table 2)", c.Now, cycles.BlockWriteTotal)
+	}
+	before := c.Now
+	c.BlockRead()
+	if c.Now-before != cycles.BlockWriteTotal {
+		t.Fatalf("block read cost = %d, want %d", c.Now-before, cycles.BlockWriteTotal)
+	}
+}
+
+func TestWriteBackHitCost(t *testing.T) {
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	c := m.CPUs[0]
+	f, _ := m.Phys.Alloc()
+	addr := phys.FrameBase(f)
+	c.WordWrite(addr, addr, 1, 4, false, false) // miss: fill
+	missCost := c.Now
+	if missCost != cycles.BlockWriteTotal+cycles.L1HitCycles {
+		t.Fatalf("write miss cost = %d, want %d", missCost, cycles.BlockWriteTotal+cycles.L1HitCycles)
+	}
+	c.WordWrite(addr+4, addr+4, 2, 4, false, false) // same line: hit
+	if c.Now-missCost != cycles.L1HitCycles {
+		t.Fatalf("write hit cost = %d, want %d", c.Now-missCost, cycles.L1HitCycles)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	m := New(Config{NumCPUs: 2, MemFrames: 16})
+	m.CPUs[0].Compute(100)
+	m.CPUs[1].Compute(50)
+	if m.MaxNow() != 100 {
+		t.Fatalf("MaxNow = %d, want 100", m.MaxNow())
+	}
+}
+
+func TestBusContentionBetweenCPUs(t *testing.T) {
+	m := New(Config{NumCPUs: 2, MemFrames: 16})
+	f, _ := m.Phys.Alloc()
+	addr := phys.FrameBase(f)
+	// Both CPUs write through at the same local time: the second must
+	// queue behind the first on the shared bus.
+	m.CPUs[0].WordWrite(addr, addr, 1, 4, true, false)
+	m.CPUs[1].WordWrite(addr+4, addr+4, 2, 4, true, false)
+	if m.CPUs[0].Now != cycles.WordWriteThroughTotal {
+		t.Fatalf("cpu0 = %d", m.CPUs[0].Now)
+	}
+	if m.CPUs[1].Now <= m.CPUs[0].Now {
+		t.Fatalf("cpu1 (%d) did not queue behind cpu0 (%d)", m.CPUs[1].Now, m.CPUs[0].Now)
+	}
+}
+
+func TestStallAll(t *testing.T) {
+	m := New(Config{NumCPUs: 3, MemFrames: 16})
+	m.CPUs[0].Compute(10)
+	m.StallAll(100)
+	for i, c := range m.CPUs {
+		if c.Now != 100 {
+			t.Fatalf("cpu%d = %d, want 100", i, c.Now)
+		}
+	}
+	if m.CPUs[0].StallCycles != 90 {
+		t.Fatalf("cpu0 stall = %d, want 90", m.CPUs[0].StallCycles)
+	}
+}
+
+// fakeLog records snoops and exercises the LogDevice plumbing.
+type fakeLog struct {
+	snooped []LoggedWrite
+	pumped  []uint64
+	stall   uint64
+}
+
+func (f *fakeLog) Snoop(w LoggedWrite) uint64 {
+	f.snooped = append(f.snooped, w)
+	if f.stall > w.Time {
+		return f.stall
+	}
+	return w.Time
+}
+func (f *fakeLog) PumpUntil(t uint64) { f.pumped = append(f.pumped, t) }
+func (f *fakeLog) DrainAll() uint64   { return 0 }
+
+func TestLoggedWriteSnoops(t *testing.T) {
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	fl := &fakeLog{}
+	m.Log = fl
+	f, _ := m.Phys.Alloc()
+	addr := phys.FrameBase(f) + 0x10
+	m.CPUs[0].WordWrite(addr, addr, 0x42, 4, true, true)
+	if len(fl.snooped) != 1 {
+		t.Fatalf("snooped %d writes, want 1", len(fl.snooped))
+	}
+	w := fl.snooped[0]
+	if w.Addr != addr || w.Value != 0x42 || w.Size != 4 || w.CPU != 0 {
+		t.Fatalf("snooped = %+v", w)
+	}
+	if w.Time != cycles.WordWriteThroughTotal {
+		t.Fatalf("snoop time = %d", w.Time)
+	}
+}
+
+func TestUnloggedWriteThroughDoesNotSnoop(t *testing.T) {
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	fl := &fakeLog{}
+	m.Log = fl
+	f, _ := m.Phys.Alloc()
+	m.CPUs[0].WordWrite(phys.FrameBase(f), phys.FrameBase(f), 1, 4, true, false)
+	if len(fl.snooped) != 0 {
+		t.Fatalf("unlogged write snooped")
+	}
+	if len(fl.pumped) == 0 {
+		t.Fatalf("log device not pumped before bus use")
+	}
+}
+
+func TestSnoopStallAppliesToCPU(t *testing.T) {
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	fl := &fakeLog{stall: 5000}
+	m.Log = fl
+	f, _ := m.Phys.Alloc()
+	m.CPUs[0].WordWrite(phys.FrameBase(f), phys.FrameBase(f), 1, 4, true, true)
+	if m.CPUs[0].Now != 5000 {
+		t.Fatalf("CPU not stalled by snoop: now = %d", m.CPUs[0].Now)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NumCPUs != 4 {
+		t.Fatalf("prototype has 4 CPUs, config says %d", cfg.NumCPUs)
+	}
+	m := New(cfg)
+	if len(m.CPUs) != 4 {
+		t.Fatalf("machine has %d CPUs", len(m.CPUs))
+	}
+}
+
+func TestLoggedWriteBackSnoops(t *testing.T) {
+	// Section 4.6: with on-chip logging support, a logged write in
+	// write-back mode still reaches the log device (the CPU emits the
+	// record itself).
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	fl := &fakeLog{}
+	m.Log = fl
+	f, _ := m.Phys.Alloc()
+	addr := phys.FrameBase(f)
+	m.CPUs[0].WordWrite(addr, 0x77770000, 5, 4, false, true)
+	if len(fl.snooped) != 1 {
+		t.Fatalf("write-back logged write not snooped")
+	}
+	if fl.snooped[0].VAddr != 0x77770000 {
+		t.Fatalf("virtual address not carried: %#x", fl.snooped[0].VAddr)
+	}
+}
+
+func TestDrainWaitsForLogDevice(t *testing.T) {
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	fl := &fakeLog{}
+	m.Log = fl
+	m.CPUs[0].Compute(50)
+	if got := m.Drain(); got != 50 {
+		t.Fatalf("Drain = %d, want 50 (device idle)", got)
+	}
+}
+
+func TestStoreLoadCounters(t *testing.T) {
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	c := m.CPUs[0]
+	f, _ := m.Phys.Alloc()
+	addr := phys.FrameBase(f)
+	c.WordWrite(addr, addr, 1, 4, false, false)
+	c.WordRead(addr)
+	c.WordRead(addr + 4)
+	if c.Stores != 1 || c.Loads != 2 {
+		t.Fatalf("counters: stores=%d loads=%d", c.Stores, c.Loads)
+	}
+}

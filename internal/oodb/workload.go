@@ -1,0 +1,71 @@
+package oodb
+
+import (
+	"fmt"
+
+	"lvm/internal/core"
+)
+
+// Workload is a parameterized OODB transaction mix: each transaction
+// looks up TouchesPerTxn objects by key and updates UpdatesPerObject
+// fields of each, with ThinkCycles of computation per touch — the "longer
+// transactions... and far more processing" regime of Section 4.2.
+type Workload struct {
+	Objects          uint32
+	TouchesPerTxn    int
+	UpdatesPerObject int
+	ThinkCycles      uint64
+	Seed             uint64
+}
+
+// Seed populates the store with the workload's objects (one transaction).
+func (w Workload) SeedStore(s *Store) error {
+	if err := s.Begin(); err != nil {
+		return err
+	}
+	for k := uint32(0); k < w.Objects; k++ {
+		if _, err := s.Create(1000+k, []uint32{k, k * 2, k * 3}); err != nil {
+			return err
+		}
+	}
+	return s.Commit()
+}
+
+// Run executes txns transactions against a seeded store, returning the
+// process cycles consumed.
+func (w Workload) Run(s *Store, p *core.Process, txns int) (uint64, error) {
+	rng := w.Seed
+	if rng == 0 {
+		rng = 0x9E3779B97F4A7C15
+	}
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 0x2545F4914F6CDD1D
+	}
+	start := p.Now()
+	for t := 0; t < txns; t++ {
+		if err := s.Begin(); err != nil {
+			return 0, err
+		}
+		for i := 0; i < w.TouchesPerTxn; i++ {
+			key := 1000 + uint32(next()%uint64(w.Objects))
+			id, ok := s.Lookup(key)
+			if !ok {
+				return 0, fmt.Errorf("oodb: key %d missing", key)
+			}
+			p.Compute(w.ThinkCycles)
+			for f := 0; f < w.UpdatesPerObject; f++ {
+				old := s.Field(id, uint32(f))
+				if err := s.Update(id, uint32(f), old+uint32(t)+1); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if err := s.Commit(); err != nil {
+			return 0, err
+		}
+	}
+	return p.Now() - start, nil
+}

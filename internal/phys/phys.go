@@ -1,0 +1,161 @@
+// Package phys models the physical memory of the simulated ParaDiGM
+// machine: a 32-bit physical address space divided into 4 KiB page frames.
+//
+// Frames are allocated lazily so that a Memory with a large nominal
+// capacity costs nothing until it is touched. The hardware logger and the
+// virtual-memory system both address this memory by physical address; the
+// logger's page-mapping table is keyed by the 20-bit physical page number.
+package phys
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Addr is a 32-bit physical address.
+type Addr = uint32
+
+const (
+	// PageSize is the machine page size (4 KiB, Section 3.1).
+	PageSize = 4096
+	// PageShift is log2(PageSize).
+	PageShift = 12
+	// PageMask extracts the offset within a page.
+	PageMask = PageSize - 1
+)
+
+// PPN returns the physical page number of addr.
+func PPN(addr Addr) uint32 { return addr >> PageShift }
+
+// PageBase returns the first address of the page containing addr.
+func PageBase(addr Addr) Addr { return addr &^ Addr(PageMask) }
+
+// ErrOutOfMemory is returned when no free frame remains.
+var ErrOutOfMemory = errors.New("phys: out of page frames")
+
+// Memory is the machine's physical memory: an array of page frames with a
+// simple free-list allocator. Frame 0 is reserved (never allocated) so that
+// physical address 0 can serve as an "invalid" sentinel.
+type Memory struct {
+	frames    []*[PageSize]byte
+	free      []uint32
+	allocated int
+}
+
+// NewMemory creates a physical memory with the given number of 4 KiB page
+// frames. The frame storage is allocated lazily, on first Alloc of each
+// frame.
+func NewMemory(numFrames int) *Memory {
+	if numFrames < 2 {
+		numFrames = 2
+	}
+	m := &Memory{frames: make([]*[PageSize]byte, numFrames)}
+	m.free = make([]uint32, 0, numFrames-1)
+	// Keep allocation order low-to-high for reproducibility.
+	for f := numFrames - 1; f >= 1; f-- {
+		m.free = append(m.free, uint32(f))
+	}
+	return m
+}
+
+// NumFrames reports the total number of frames, including reserved frame 0.
+func (m *Memory) NumFrames() int { return len(m.frames) }
+
+// Allocated reports how many frames are currently allocated.
+func (m *Memory) Allocated() int { return m.allocated }
+
+// Free reports how many frames remain allocatable.
+func (m *Memory) Free() int { return len(m.free) }
+
+// Alloc allocates one zeroed page frame and returns its frame number.
+func (m *Memory) Alloc() (uint32, error) {
+	if len(m.free) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	f := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	if m.frames[f] == nil {
+		m.frames[f] = new([PageSize]byte)
+	} else {
+		*m.frames[f] = [PageSize]byte{}
+	}
+	m.allocated++
+	return f, nil
+}
+
+// Release returns a frame to the free list. Releasing frame 0 or an
+// unallocated frame panics: it indicates a kernel bug.
+func (m *Memory) Release(frame uint32) {
+	if frame == 0 || int(frame) >= len(m.frames) || m.frames[frame] == nil {
+		panic(fmt.Sprintf("phys: release of invalid frame %d", frame))
+	}
+	m.allocated--
+	m.free = append(m.free, frame)
+}
+
+// Frame returns the backing bytes of an allocated frame.
+func (m *Memory) Frame(frame uint32) *[PageSize]byte {
+	if int(frame) >= len(m.frames) || m.frames[frame] == nil {
+		panic(fmt.Sprintf("phys: access to unallocated frame %d", frame))
+	}
+	return m.frames[frame]
+}
+
+// FrameBase returns the physical address of the first byte of a frame.
+func FrameBase(frame uint32) Addr { return Addr(frame) << PageShift }
+
+// Read copies len(dst) bytes starting at physical address addr. The range
+// must not cross a page boundary into an unallocated frame.
+func (m *Memory) Read(addr Addr, dst []byte) {
+	for len(dst) > 0 {
+		f := m.Frame(PPN(addr))
+		off := int(addr & PageMask)
+		n := copy(dst, f[off:])
+		dst = dst[n:]
+		addr += Addr(n)
+	}
+}
+
+// Write copies src to physical address addr.
+func (m *Memory) Write(addr Addr, src []byte) {
+	for len(src) > 0 {
+		f := m.Frame(PPN(addr))
+		off := int(addr & PageMask)
+		n := copy(f[off:], src)
+		src = src[n:]
+		addr += Addr(n)
+	}
+}
+
+// Read32 reads a 32-bit little-endian word at addr.
+func (m *Memory) Read32(addr Addr) uint32 {
+	f := m.Frame(PPN(addr))
+	off := addr & PageMask
+	if off+4 <= PageSize {
+		b := f[off : off+4 : off+4]
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	var b [4]byte
+	m.Read(addr, b[:])
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Write32 writes a 32-bit little-endian word at addr.
+func (m *Memory) Write32(addr Addr, v uint32) {
+	f := m.Frame(PPN(addr))
+	off := addr & PageMask
+	if off+4 <= PageSize {
+		b := f[off : off+4 : off+4]
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+		return
+	}
+	var b [4]byte
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	m.Write(addr, b[:])
+}

@@ -1,0 +1,83 @@
+package ramdisk
+
+import (
+	"bytes"
+	"testing"
+
+	"lvm/internal/machine"
+)
+
+func cpu() *machine.CPU {
+	m := machine.New(machine.Config{NumCPUs: 1, MemFrames: 4})
+	return m.CPUs[0]
+}
+
+func TestReadBackWrites(t *testing.T) {
+	d := New()
+	c := cpu()
+	data := []byte("recoverable virtual memory")
+	d.WriteAt(c, 100, data)
+	out := make([]byte, len(data))
+	d.ReadAt(c, 100, out)
+	if !bytes.Equal(out, data) {
+		t.Fatalf("read back %q", out)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	d := New()
+	out := make([]byte, 16)
+	d.ReadAt(nil, 5000, out)
+	for _, b := range out {
+		if b != 0 {
+			t.Fatalf("unwritten block not zero")
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	d := New()
+	c := cpu()
+	before := c.Now
+	d.WriteAt(c, 0, make([]byte, BlockSize)) // exactly one block
+	if got := c.Now - before; got != OpCycles+BlockCycles {
+		t.Fatalf("1-block write cost = %d, want %d", got, OpCycles+BlockCycles)
+	}
+	before = c.Now
+	d.WriteAt(c, BlockSize-1, make([]byte, 2)) // spans two blocks
+	if got := c.Now - before; got != OpCycles+2*BlockCycles {
+		t.Fatalf("spanning write cost = %d, want %d", got, OpCycles+2*BlockCycles)
+	}
+	before = c.Now
+	d.Sync(c)
+	if got := c.Now - before; got != SyncCycles {
+		t.Fatalf("sync cost = %d", got)
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	d := New()
+	d.WriteAt(nil, 0, []byte{1})
+	d.ReadAt(nil, 0, make([]byte, 1))
+	d.Sync(nil)
+	if d.Writes != 1 || d.Reads != 1 || d.Syncs != 1 {
+		t.Fatalf("stats: %s", d)
+	}
+	if d.String() == "" {
+		t.Fatalf("empty String")
+	}
+}
+
+func TestCrossBlockIntegrity(t *testing.T) {
+	d := New()
+	big := make([]byte, 3*BlockSize+37)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	d.WriteAt(nil, 777, big)
+	out := make([]byte, len(big))
+	d.ReadAt(nil, 777, out)
+	if !bytes.Equal(out, big) {
+		t.Fatalf("cross-block data corrupted")
+	}
+}

@@ -1,0 +1,217 @@
+package rvm
+
+import (
+	"fmt"
+
+	"lvm/internal/core"
+	"lvm/internal/cycles"
+	"lvm/internal/ramdisk"
+)
+
+// Options tunes the recoverable-memory manager.
+type Options struct {
+	// TruncateEvery applies the log to the durable image and resets the
+	// log after this many commits (log truncation). 0 = default (8).
+	TruncateEvery int
+}
+
+// Stats records where transaction time went, in cycles: the paper's
+// TPC-A analysis hinges on "only about 25% of the CPU time in RVM is
+// actually spent inside the transaction" (Section 4.2).
+type Stats struct {
+	Txns         uint64
+	SetRanges    uint64
+	BytesSaved   uint64
+	InTxnCycles  uint64 // between Begin and Commit/Abort, excluding commit
+	CommitCycles uint64
+	TruncCycles  uint64
+	Aborts       uint64
+}
+
+// Manager is an RVM-style recoverable segment manager for one process.
+type Manager struct {
+	sys  *core.System
+	p    *core.Process
+	disk *ramdisk.Disk
+	wal  *WAL
+
+	seg  *core.Segment
+	reg  *core.Region
+	base core.Addr
+	size uint32
+
+	inTxn      bool
+	txnStart   uint64
+	seq        uint32
+	ranges     []rangeEntry
+	dirtyImage []WALRange // committed ranges not yet applied to the image
+	commits    int
+	opts       Options
+
+	Stats Stats
+}
+
+type rangeEntry struct {
+	off uint32
+	old []byte
+}
+
+// imageBase is the disk offset of the durable segment image; the WAL
+// follows it.
+func imageBase() uint64 { return 0 }
+
+func walBase(size uint32) uint64 {
+	return (uint64(size) + ramdisk.BlockSize - 1) / ramdisk.BlockSize * ramdisk.BlockSize
+}
+
+// New creates a recoverable segment of the given size backed by disk,
+// recovers its contents (image + committed log records), and binds it into
+// the process's address space. The region is NOT logged: RVM is the
+// application-level baseline.
+func New(sys *core.System, p *core.Process, size uint32, disk *ramdisk.Disk, opts Options) (*Manager, error) {
+	if opts.TruncateEvery <= 0 {
+		opts.TruncateEvery = 8
+	}
+	m := &Manager{
+		sys:  sys,
+		p:    p,
+		disk: disk,
+		wal:  NewWAL(disk, walBase(size)),
+		size: size,
+		opts: opts,
+	}
+	m.seg = core.NewNamedSegment(sys, "rvm-recoverable", size, nil)
+	m.reg = core.NewStdRegion(sys, m.seg)
+	base, err := m.reg.Bind(p.AS, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.base = base
+	// Recovery: load the image, then replay committed transactions.
+	img := make([]byte, size)
+	disk.ReadAt(nil, imageBase(), img)
+	m.seg.RawWrite(0, img)
+	if err := m.wal.Scan(func(seq uint32, ranges []WALRange) {
+		m.seq = seq
+		for _, r := range ranges {
+			m.seg.RawWrite(r.Off, r.Data)
+			m.dirtyImage = append(m.dirtyImage, r)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Base returns the virtual address of the recoverable region.
+func (m *Manager) Base() core.Addr { return m.base }
+
+// Segment returns the recoverable segment.
+func (m *Manager) Segment() *core.Segment { return m.seg }
+
+// Begin starts a transaction.
+func (m *Manager) Begin() error {
+	if m.inTxn {
+		return fmt.Errorf("rvm: nested transaction")
+	}
+	m.inTxn = true
+	m.ranges = m.ranges[:0]
+	m.p.Compute(cycles.TxnMgmtCycles / 2)
+	m.txnStart = m.p.Now()
+	m.Stats.Txns++
+	return nil
+}
+
+// SetRange declares that [va, va+n) is about to be modified: "Coda RVM
+// requires that the application programmer insert a call to set_range()
+// before modifying recoverable memory" (Section 2.5). The library records
+// the range and saves the old value so the transaction can be undone.
+func (m *Manager) SetRange(va core.Addr, n uint32) error {
+	if !m.inTxn {
+		return fmt.Errorf("rvm: SetRange outside transaction")
+	}
+	if va < m.base || va+n > m.base+m.size {
+		return fmt.Errorf("rvm: SetRange [%#x,+%d) outside recoverable region", va, n)
+	}
+	off := va - m.base
+	// The measured set_range cost: bookkeeping plus the old-value copy.
+	m.p.Compute(cycles.SetRangeOverheadCycles + uint64(n)*cycles.SetRangeByteCycles)
+	old := m.seg.RawRead(off, n)
+	m.ranges = append(m.ranges, rangeEntry{off: off, old: old})
+	m.Stats.SetRanges++
+	m.Stats.BytesSaved += uint64(n)
+	return nil
+}
+
+// Commit makes the transaction's updates durable: the new values of every
+// registered range are gathered into one commit record, written to the
+// write-ahead log on the RAM disk, and synced. Periodically the log is
+// truncated by applying it to the image.
+func (m *Manager) Commit() error {
+	if !m.inTxn {
+		return fmt.Errorf("rvm: Commit outside transaction")
+	}
+	m.Stats.InTxnCycles += m.p.Now() - m.txnStart
+	commitStart := m.p.Now()
+	m.seq++
+	recs := make([]WALRange, 0, len(m.ranges))
+	for _, r := range m.ranges {
+		m.p.Compute(cycles.CommitPerRangeCycles)
+		recs = append(recs, WALRange{Off: r.off, Data: m.seg.RawRead(r.off, uint32(len(r.old)))})
+	}
+	m.wal.AppendCommit(m.p.CPU, m.seq, recs)
+	m.dirtyImage = append(m.dirtyImage, recs...)
+	m.p.Compute(cycles.TxnMgmtCycles / 2)
+	m.inTxn = false
+	m.commits++
+	m.Stats.CommitCycles += m.p.Now() - commitStart
+	if m.commits%m.opts.TruncateEvery == 0 {
+		m.Truncate()
+	}
+	return nil
+}
+
+// Abort undoes the transaction by restoring the saved old values.
+func (m *Manager) Abort() error {
+	if !m.inTxn {
+		return fmt.Errorf("rvm: Abort outside transaction")
+	}
+	m.Stats.InTxnCycles += m.p.Now() - m.txnStart
+	for i := len(m.ranges) - 1; i >= 0; i-- {
+		r := m.ranges[i]
+		m.seg.RawWrite(r.off, r.old)
+		m.p.Compute(uint64(len(r.old)) * cycles.SetRangeByteCycles)
+	}
+	m.inTxn = false
+	m.Stats.Aborts++
+	return nil
+}
+
+// Truncate applies the committed updates to the durable image and resets
+// the write-ahead log ("The rest is spent performing the commit and
+// truncating the log", Section 4.2). The image update is one
+// scatter-gather device operation.
+func (m *Manager) Truncate() {
+	start := m.p.Now()
+	var bytes uint64
+	for _, r := range m.dirtyImage {
+		m.disk.WriteAt(nil, imageBase()+uint64(r.Off), r.Data)
+		bytes += uint64(len(r.Data))
+	}
+	blocks := (bytes + ramdisk.BlockSize - 1) / ramdisk.BlockSize
+	m.p.Compute(ramdisk.OpCycles + blocks*ramdisk.BlockCycles)
+	m.disk.Sync(m.p.CPU)
+	m.dirtyImage = m.dirtyImage[:0]
+	m.wal.Reset(m.p.CPU)
+	m.Stats.TruncCycles += m.p.Now() - start
+}
+
+// RecoverableWrite32 is the canonical single recoverable write measured in
+// Table 3: a SetRange over the word followed by the store.
+func (m *Manager) RecoverableWrite32(va core.Addr, v uint32) error {
+	if err := m.SetRange(va, 4); err != nil {
+		return err
+	}
+	m.p.Store32(va, v)
+	return nil
+}

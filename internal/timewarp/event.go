@@ -1,0 +1,113 @@
+// Package timewarp implements an optimistic (TimeWarp-style) parallel
+// discrete-event simulation engine over the LVM system, following
+// Section 2.4 of the paper: each scheduler keeps its simulation state in a
+// working segment whose deferred-copy source is a checkpoint segment, and
+// logs every update; rollback is resetDeferredCopy() plus roll-forward
+// from the log, delimited by local-virtual-time marker records; CULT
+// (checkpoint update and log truncation) advances the checkpoint to GVT.
+//
+// A conventional copy-based state saver — "the conventional rollback
+// implementation which makes a copy of the affected object state before
+// processing each event" — is implemented alongside as the baseline for
+// Figures 7 and 8.
+package timewarp
+
+import "container/heap"
+
+// VT is virtual time.
+type VT = uint32
+
+// EventID uniquely identifies an event and provides a total tie-break
+// order for simultaneous events.
+type EventID struct {
+	Sched uint32
+	Seq   uint32
+}
+
+// Event is one simulation event.
+type Event struct {
+	Time VT
+	ID   EventID
+	// Obj is the global index of the target object.
+	Obj uint32
+	// Data is the event payload.
+	Data uint32
+	// Anti marks an anti-message (annihilates the matching positive).
+	Anti bool
+}
+
+// before orders events by (Time, Obj, Data) with the ID as the final
+// arbitrary tie-break. Content-first ordering makes the simulation outcome
+// independent of the stepping policy: two events with identical time,
+// target and payload are semantically interchangeable (handlers are
+// deterministic functions of event content and target state), so even
+// though re-sent events get fresh IDs after a rollback, every policy
+// processes an equivalent sequence.
+func (e Event) before(o Event) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	if e.Obj != o.Obj {
+		return e.Obj < o.Obj
+	}
+	if e.Data != o.Data {
+		return e.Data < o.Data
+	}
+	if e.ID.Sched != o.ID.Sched {
+		return e.ID.Sched < o.ID.Sched
+	}
+	return e.ID.Seq < o.ID.Seq
+}
+
+// sameEvent reports whether two events are the same logical event
+// (ignoring the Anti flag).
+func sameEvent(a, b Event) bool {
+	return a.ID == b.ID && a.Time == b.Time && a.Obj == b.Obj
+}
+
+// eventHeap is a min-heap of events by (Time, ID).
+type eventHeap []Event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].before(h[j]) }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// inputQueue wraps the heap with annihilation support.
+type inputQueue struct{ h eventHeap }
+
+func (q *inputQueue) push(e Event) { heap.Push(&q.h, e) }
+
+func (q *inputQueue) pop() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return heap.Pop(&q.h).(Event), true
+}
+
+func (q *inputQueue) peek() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+func (q *inputQueue) len() int { return len(q.h) }
+
+// remove deletes the event matching id, reporting success.
+func (q *inputQueue) remove(id EventID) bool {
+	for i := range q.h {
+		if q.h[i].ID == id {
+			heap.Remove(&q.h, i)
+			return true
+		}
+	}
+	return false
+}

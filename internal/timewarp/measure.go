@@ -1,0 +1,86 @@
+package timewarp
+
+import "fmt"
+
+// ForwardResult is one forward-execution cost measurement: the per-event
+// cost of running the synthetic workload under one state saver, with no
+// rollbacks (the Section 4.3 methodology: rollback, GVT advance and log
+// truncation are excluded — "The process that is the furthest behind in an
+// optimistic simulation does not perform rollbacks so these overheads are
+// not expected to affect the progress of a simulation").
+type ForwardResult struct {
+	Saver          SaverKind
+	Events         uint64
+	Cycles         uint64
+	CyclesPerEvent float64
+	Overloads      uint64
+}
+
+func (r ForwardResult) String() string {
+	return fmt.Sprintf("%-4s %6d events %10d cycles  %8.1f cyc/event  %d overloads",
+		r.Saver, r.Events, r.Cycles, r.CyclesPerEvent, r.Overloads)
+}
+
+// MeasureForward runs `events` events of the (c, s, w) workload on a
+// single scheduler with the given state saver and reports the steady-state
+// cost. A short warmup faults pages in first.
+func MeasureForward(saver SaverKind, c uint64, objBytes uint32, writes, events int) (ForwardResult, error) {
+	cfg := Config{
+		Schedulers:          1,
+		ObjectsPerScheduler: 1,
+		ObjectBytes:         objBytes,
+		Saver:               saver,
+		LogPages:            16,
+		GVTInterval:         1 << 30, // no CULT inside the measurement
+		MemFrames:           16 << 8, // 16 MiB is plenty for one object + log
+	}
+	h := Synthetic{
+		Compute:     c,
+		Writes:      writes,
+		ObjectWords: int(objBytes / 4),
+		Horizon:     ^VT(0) - 16,
+		MaxDelay:    4,
+		NumObjects:  1,
+		SelfChain:   true,
+	}
+	sim, err := New(cfg, h)
+	if err != nil {
+		return ForwardResult{}, err
+	}
+	sim.Inject(0, 0, 12345)
+
+	const warmup = 32
+	sim.RunSteps(PolicyGlobalOrder, warmup)
+	sc := sim.scheds[0]
+	startCycles := sc.p.Now()
+	startOv := sim.sys.K.Overloads
+	ran := sim.RunSteps(PolicyGlobalOrder, events)
+	res := ForwardResult{
+		Saver:     saver,
+		Events:    ran,
+		Cycles:    sc.p.Now() - startCycles,
+		Overloads: sim.sys.K.Overloads - startOv,
+	}
+	if ran > 0 {
+		res.CyclesPerEvent = float64(res.Cycles) / float64(ran)
+	}
+	return res, nil
+}
+
+// Speedup measures the elapsed-time speedup of LVM state saving over
+// copy-based checkpointing for one (c, s, w) point — the quantity plotted
+// in Figures 7 and 8.
+func Speedup(c uint64, objBytes uint32, writes, events int) (float64, ForwardResult, ForwardResult, error) {
+	cp, err := MeasureForward(SaverCopy, c, objBytes, writes, events)
+	if err != nil {
+		return 0, cp, ForwardResult{}, err
+	}
+	lv, err := MeasureForward(SaverLVM, c, objBytes, writes, events)
+	if err != nil {
+		return 0, cp, lv, err
+	}
+	if lv.Cycles == 0 {
+		return 0, cp, lv, fmt.Errorf("timewarp: empty LVM measurement")
+	}
+	return float64(cp.Cycles) / float64(lv.Cycles), cp, lv, nil
+}

@@ -1,0 +1,69 @@
+package timewarp
+
+// Synthetic is the paper's "simulated" simulation workload (Section 4.3):
+// each event performs c compute cycles and w writes to its s-byte object,
+// then schedules follow-on events. The three knobs c, s and w are exactly
+// the parameters varied in Figures 7 and 8.
+type Synthetic struct {
+	// Compute is c: compute cycles per event.
+	Compute uint64
+	// Writes is w: writes per event.
+	Writes int
+	// ObjectWords is s/4: the object size in words.
+	ObjectWords int
+	// Horizon stops the simulation: no events are scheduled at or beyond
+	// this virtual time.
+	Horizon VT
+	// Fanout is how many follow-on events each event schedules (1 keeps
+	// the event population constant per seed chain).
+	Fanout int
+	// MaxDelay bounds the virtual-time increment of scheduled events.
+	MaxDelay VT
+	// NumObjects is the global object count (targets are hashed into
+	// this range).
+	NumObjects uint32
+	// SelfChain forces every follow-on event onto the same object,
+	// producing a strictly sequential event chain (used by the forward
+	// cost measurements, where cross-object traffic is noise).
+	SelfChain bool
+}
+
+// mix is a deterministic 32-bit hash combiner.
+func mix(a, b, c uint32) uint32 {
+	h := a*2654435761 + b*40503 + c*97
+	h ^= h >> 15
+	h *= 2246822519
+	h ^= h >> 13
+	return h
+}
+
+// Handle implements Handler.
+func (h Synthetic) Handle(s *Scheduler, ev Event) {
+	s.Compute(h.Compute)
+	st0 := s.ReadWord(ev.Obj, 0)
+	for i := 0; i < h.Writes; i++ {
+		word := int((ev.Data + uint32(i)) % uint32(h.ObjectWords))
+		old := s.ReadWord(ev.Obj, word)
+		s.WriteWord(ev.Obj, word, old*31+ev.Data+uint32(i)+1)
+	}
+	seed := mix(ev.Data, st0, ev.Time)
+	maxDelay := h.MaxDelay
+	if maxDelay == 0 {
+		maxDelay = 8
+	}
+	fanout := h.Fanout
+	if fanout == 0 {
+		fanout = 1
+	}
+	for f := 0; f < fanout; f++ {
+		t := ev.Time + 1 + seed%uint32(maxDelay)
+		if t < h.Horizon {
+			dest := ev.Obj
+			if !h.SelfChain {
+				dest = (seed / 13) % h.NumObjects
+			}
+			s.Send(t, dest, seed)
+		}
+		seed = mix(seed, uint32(f)+1, 0x9E37)
+	}
+}

@@ -1,0 +1,91 @@
+package tpca
+
+import "testing"
+
+func TestMultiBranchScale(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Branches = 4
+	cfg.Txns = 80
+	rv, mv, err := RunRVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, ml, err := RunRLVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.TPS <= rv.TPS {
+		t.Fatalf("RLVM (%f) not faster at 4 branches (%f)", rl.TPS, rv.TPS)
+	}
+	// Conservation: total money added must equal the sum of history
+	// deltas, identically in both engines.
+	l := newLayout(cfg)
+	var sumV, sumL uint32
+	for b := 0; b < cfg.Branches; b++ {
+		off := l.branchOff + uint32(b)*balanceRecBytes
+		sumV += mv.Segment().Read32(off)
+		sumL += ml.Segment().Read32(off + 16) // marker shift
+	}
+	if sumV != sumL || sumV == 0 {
+		t.Fatalf("branch totals: rvm=%d rlvm=%d", sumV, sumL)
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Txns = 40
+	a, _, _ := RunRVM(cfg)
+	cfg.Seed = 12345
+	b, _, _ := RunRVM(cfg)
+	if a.Cycles == b.Cycles {
+		// Different accounts hit different cache lines; identical totals
+		// would be suspicious but not impossible — check balances too.
+		t.Logf("cycle counts equal across seeds (possible but unusual)")
+	}
+	_ = b
+}
+
+func TestTruncateEveryAffectsCost(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Txns = 64
+	cfg.TruncateEvery = 2
+	frequent, _, err := RunRVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TruncateEvery = 32
+	rare, _, err := RunRVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frequent.TPS >= rare.TPS {
+		t.Fatalf("frequent truncation (%f tps) not slower than rare (%f tps)", frequent.TPS, rare.TPS)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Txns = 10
+	r, _, err := RunRVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() == "" {
+		t.Fatalf("empty Result string")
+	}
+}
+
+func TestRNGDeterministicAndSpread(t *testing.T) {
+	a, b := newRNG(7), newRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		x, y := a.intn(1000), b.intn(1000)
+		if x != y {
+			t.Fatalf("rng not deterministic")
+		}
+		seen[x] = true
+	}
+	if len(seen) < 500 {
+		t.Fatalf("rng poorly distributed: %d distinct of 1000", len(seen))
+	}
+}

@@ -1,0 +1,136 @@
+package tpca
+
+import (
+	"testing"
+
+	"lvm/internal/core"
+)
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Txns = 120
+	return cfg
+}
+
+func TestRVMRuns(t *testing.T) {
+	res, m, err := RunRVM(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TPS <= 0 {
+		t.Fatalf("TPS = %v", res.TPS)
+	}
+	if m.Stats.Txns != 120 {
+		t.Fatalf("txns = %d", m.Stats.Txns)
+	}
+	// Section 4.2: "only about 25% of the CPU time in RVM is actually
+	// spent inside the transaction."
+	if res.InTxnFrac < 0.15 || res.InTxnFrac > 0.40 {
+		t.Fatalf("RVM in-txn fraction = %.2f, want ~0.25", res.InTxnFrac)
+	}
+}
+
+func TestRLVMRuns(t *testing.T) {
+	res, m, err := RunRLVM(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TPS <= 0 {
+		t.Fatalf("TPS = %v", res.TPS)
+	}
+	if m.Stats.Txns != 120 {
+		t.Fatalf("txns = %d", m.Stats.Txns)
+	}
+	// "it does reduce the time TPC-A spends inside the transaction to
+	// less than 10% of the benchmark's total runtime."
+	if res.InTxnFrac > 0.10 {
+		t.Fatalf("RLVM in-txn fraction = %.3f, want < 0.10", res.InTxnFrac)
+	}
+}
+
+func TestRLVMBeatsRVM(t *testing.T) {
+	cfg := smallCfg()
+	rv, _, err := RunRVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, _, err := RunRLVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 3: 418 vs 552 tps — RLVM wins by roughly a third.
+	speedup := rl.TPS / rv.TPS
+	if speedup < 1.10 {
+		t.Fatalf("RLVM/RVM = %.2f, want >= 1.10 (paper: 1.32)", speedup)
+	}
+	est := EstimateRLVMTPS(rl, rv)
+	if est < rv.TPS {
+		t.Fatalf("footnote-4 estimate %.0f below RVM %.0f", est, rv.TPS)
+	}
+	t.Logf("RVM %.0f tps, RLVM %.0f tps (estimated %.0f), speedup %.2f", rv.TPS, rl.TPS, est, speedup)
+}
+
+func TestThroughputBallpark(t *testing.T) {
+	// The absolute numbers are calibration targets, not law; require the
+	// right order of magnitude (paper: 418 and 552).
+	cfg := smallCfg()
+	rv, _, _ := RunRVM(cfg)
+	rl, _, _ := RunRLVM(cfg)
+	if rv.TPS < 200 || rv.TPS > 800 {
+		t.Fatalf("RVM TPS = %.0f, want a few hundred", rv.TPS)
+	}
+	if rl.TPS < 300 || rl.TPS > 1100 {
+		t.Fatalf("RLVM TPS = %.0f, want a few hundred", rl.TPS)
+	}
+}
+
+func TestBothEnginesComputeSameBalances(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Txns = 60
+	_, mv, err := RunRVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ml, err := RunRLVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLayout(cfg)
+	// Same seed, same transaction stream: every balance must agree.
+	for i := 0; i < cfg.Branches; i++ {
+		off := l.branchOff + uint32(i)*balanceRecBytes
+		v1 := mv.Segment().Read32(off)
+		v2 := ml.Segment().Read32(off + 16) // rlvm MarkerBytes shift
+		if v1 != v2 {
+			t.Fatalf("branch %d balance: rvm=%d rlvm=%d", i, v1, v2)
+		}
+	}
+	for i := 0; i < cfg.Branches*cfg.AccountsPerBranch; i += 97 {
+		off := l.accountOff + uint32(i)*balanceRecBytes
+		v1 := mv.Segment().Read32(off)
+		v2 := ml.Segment().Read32(off + 16)
+		if v1 != v2 {
+			t.Fatalf("account %d balance: rvm=%d rlvm=%d", i, v1, v2)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallCfg()
+	a, _, _ := RunRVM(cfg)
+	b, _, _ := RunRVM(cfg)
+	if a.Cycles != b.Cycles {
+		t.Fatalf("non-deterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestLayoutFitsRegion(t *testing.T) {
+	cfg := DefaultConfig()
+	l := newLayout(cfg)
+	if l.size%core.PageSize != 0 {
+		t.Fatalf("layout size not page aligned")
+	}
+	if l.historyOff <= l.accountOff {
+		t.Fatalf("layout overlap")
+	}
+}

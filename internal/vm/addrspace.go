@@ -1,0 +1,329 @@
+package vm
+
+import (
+	"fmt"
+
+	"lvm/internal/cycles"
+	"lvm/internal/hwlogger"
+	"lvm/internal/phys"
+)
+
+// PTE is a software page-table entry: one mapped virtual page.
+type pte struct {
+	region  *Region
+	seg     *Segment
+	segPage uint32
+	// resident means the frame is present AND, for logged pages, the
+	// logger tables were loaded and the page is in write-through mode.
+	resident     bool
+	writeThrough bool
+	logged       bool
+}
+
+// AddressSpace is a 32-bit virtual address space with 4 KiB pages.
+type AddressSpace struct {
+	k       *Kernel
+	pt      map[uint32]*pte
+	regions []*Region
+	nextVA  Addr
+
+	// lastVP/lastPTE is a one-entry software TLB for the hot path.
+	lastVP  uint32
+	lastPTE *pte
+}
+
+// NewAddressSpace creates an empty address space. Each address space gets
+// a distinct default allocation base so that kernel-chosen bindings in
+// different address spaces occupy disjoint virtual ranges — the on-chip
+// logger's extended TLB (Section 4.6) is modeled without address-space
+// identifiers, so per-region log tags are keyed by virtual page number
+// alone.
+func (k *Kernel) NewAddressSpace() *AddressSpace {
+	as := &AddressSpace{
+		k:      k,
+		pt:     make(map[uint32]*pte),
+		nextVA: 0x1000_0000 + uint32(k.addressSpaces)*0x0800_0000,
+	}
+	k.addressSpaces++
+	k.asList = append(k.asList, as)
+	return as
+}
+
+// Kernel returns the owning kernel.
+func (a *AddressSpace) Kernel() *Kernel { return a.k }
+
+// Regions returns the regions bound into this address space.
+func (a *AddressSpace) Regions() []*Region { return a.regions }
+
+// Region represents a mapping of a segment into an address space
+// (Section 2.1). A region becomes active when bound. Logging is specified
+// at the region level (Region::log, Table 1) and can be enabled and
+// disabled dynamically (Section 2.7).
+type Region struct {
+	seg    *Segment
+	logSeg *Segment
+	mode   hwlogger.Mode
+
+	as   *AddressSpace
+	base Addr
+	size uint32
+
+	// writeThrough forces write-through mode even without logging (used
+	// by experiments isolating the write-through cost).
+	writeThrough bool
+}
+
+// NewRegion creates a region over the whole segment (StdRegion, Table 1).
+func (k *Kernel) NewRegion(seg *Segment) *Region {
+	return &Region{seg: seg, size: seg.size, mode: hwlogger.ModeRecord}
+}
+
+// Segment returns the mapped segment.
+func (r *Region) Segment() *Segment { return r.seg }
+
+// Base returns the region's bound base virtual address (0 before Bind).
+func (r *Region) Base() Addr { return r.base }
+
+// Size returns the region size in bytes.
+func (r *Region) Size() uint32 { return r.size }
+
+// LogSegment returns the region's log segment, if logging is enabled.
+func (r *Region) LogSegment() *Segment { return r.logSeg }
+
+// SetLogMode selects the logging mode (record, direct-mapped or indexed;
+// Section 2.6). It must be called before Log.
+func (r *Region) SetLogMode(m hwlogger.Mode) { r.mode = m }
+
+// Log declares ls as the log segment for this region: "Log records for all
+// writes to region this appear in ls" (Table 1). It may be called before
+// or after Bind, and by a separate program such as a debugger
+// (Section 2.2). The prototype supports a single logged region per segment
+// (Section 3.1.2); enabling logging on a second region of the same segment
+// fails.
+func (r *Region) Log(ls *Segment) error {
+	if !ls.isLog {
+		return fmt.Errorf("vm: Log: %q is not a log segment", ls.name)
+	}
+	k := r.seg.k
+	if r.logSeg != nil {
+		return fmt.Errorf("vm: region already logged")
+	}
+	if k.Chip != nil {
+		// Section 4.6 hardware: per-region logging, no per-segment
+		// restriction.
+		return k.logOnChip(r, ls)
+	}
+	if k.Log == nil {
+		return fmt.Errorf("vm: no logger hardware attached")
+	}
+	if !ls.logIdxValid {
+		idx, err := k.allocLogIndex()
+		if err != nil {
+			return err
+		}
+		ls.logIndex = idx
+		ls.logIdxValid = true
+		ls.logMode = r.mode
+	}
+	r.logSeg = ls
+	ls.loggedRegion = r
+	if r.seg.logged {
+		// Another region's log is currently active for this segment: the
+		// bus logger maps physical pages, so this registration takes
+		// effect at the next Activate/ContextSwitch (Section 3.1.2's
+		// per-process logs via context switching).
+		return nil
+	}
+	return k.Activate(r, nil)
+}
+
+// Unlog dynamically disables logging for the region (Section 2.7: "The
+// logging of a region can be dynamically enabled and disabled").
+func (r *Region) Unlog() {
+	if r.logSeg == nil {
+		return
+	}
+	k := r.seg.k
+	if k.Chip != nil {
+		k.unlogOnChip(r)
+		return
+	}
+	ls := r.logSeg
+	if r.seg.logTo == ls {
+		k.Deactivate(r.seg)
+	}
+	ls.loggedRegion = nil
+	r.logSeg = nil
+	if r.as != nil {
+		r.as.invalidateRange(r.base, r.size)
+	}
+}
+
+// Bind maps the region into the address space at virtaddr (0 = let the
+// kernel choose), returning the bound address (Table 1: Region::bind).
+func (r *Region) Bind(a *AddressSpace, virtaddr Addr) (Addr, error) {
+	if r.as != nil {
+		return 0, fmt.Errorf("vm: region already bound")
+	}
+	if virtaddr == 0 {
+		virtaddr = a.nextVA
+		a.nextVA += (r.size + PageSize - 1) &^ uint32(PageMask)
+		a.nextVA += PageSize // guard page
+	}
+	if virtaddr&PageMask != 0 {
+		return 0, fmt.Errorf("vm: bind address %#x not page aligned", virtaddr)
+	}
+	npages := (r.size + PageSize - 1) / PageSize
+	for p := uint32(0); p < npages; p++ {
+		vp := (virtaddr >> PageShift) + p
+		if _, exists := a.pt[vp]; exists {
+			return 0, fmt.Errorf("vm: bind overlaps existing mapping at %#x", vp<<PageShift)
+		}
+	}
+	for p := uint32(0); p < npages; p++ {
+		vp := (virtaddr >> PageShift) + p
+		a.pt[vp] = &pte{region: r, seg: r.seg, segPage: p}
+	}
+	r.as = a
+	r.base = virtaddr
+	a.regions = append(a.regions, r)
+	if r.logSeg != nil && a.k.Chip != nil {
+		r.mapChipPages()
+	}
+	return virtaddr, nil
+}
+
+// Unbind removes the region's mapping from its address space.
+func (r *Region) Unbind() {
+	if r.as == nil {
+		return
+	}
+	a := r.as
+	npages := (r.size + PageSize - 1) / PageSize
+	for p := uint32(0); p < npages; p++ {
+		delete(a.pt, (r.base>>PageShift)+p)
+		if a.k.Chip != nil && r.logSeg != nil {
+			a.k.Chip.UnmapPage((r.base >> PageShift) + p)
+		}
+	}
+	a.lastPTE = nil
+	for i, rr := range a.regions {
+		if rr == r {
+			a.regions = append(a.regions[:i], a.regions[i+1:]...)
+			break
+		}
+	}
+	r.as = nil
+	r.base = 0
+}
+
+// invalidateRange forces the pages of [base, base+size) to re-fault.
+func (a *AddressSpace) invalidateRange(base Addr, size uint32) {
+	npages := (size + PageSize - 1) / PageSize
+	for p := uint32(0); p < npages; p++ {
+		if e, ok := a.pt[(base>>PageShift)+p]; ok {
+			e.resident = false
+			e.writeThrough = false
+			e.logged = false
+		}
+	}
+	a.lastPTE = nil
+}
+
+// Translate resolves a virtual address without faulting; ok is false if
+// the page is unmapped.
+func (a *AddressSpace) Translate(va Addr) (seg *Segment, off uint32, ok bool) {
+	e, found := a.pt[va>>PageShift]
+	if !found {
+		return nil, 0, false
+	}
+	return e.seg, e.segPage*PageSize + va&PageMask, true
+}
+
+// lookup returns the PTE for va, handling the page fault if needed; the
+// fault cost is charged to cpu.
+func (a *AddressSpace) lookup(va Addr, cpu *machineCPU) (*pte, error) {
+	vp := va >> PageShift
+	if a.lastPTE != nil && a.lastVP == vp && a.lastPTE.resident {
+		return a.lastPTE, nil
+	}
+	e, found := a.pt[vp]
+	if !found {
+		return nil, fmt.Errorf("vm: fault: unmapped address %#x", va)
+	}
+	if !e.resident {
+		if err := a.k.pageFault(e, cpu); err != nil {
+			return nil, err
+		}
+	}
+	a.lastVP = vp
+	a.lastPTE = e
+	return e, nil
+}
+
+// pageFault implements the page-fault path of Section 3.2: normal fault
+// handling (frame allocation and data arrival), then for logged regions:
+// write-through mode for the page, a log-table entry if missing, and a
+// page-mapping-table entry mapping the page's physical address to the
+// log's index.
+func (k *Kernel) pageFault(e *pte, cpu *machineCPU) error {
+	k.PageFaults++
+	if cpu != nil {
+		cpu.Compute(cycles.PageFaultCycles)
+	}
+	if _, err := e.seg.ensureFrame(e.segPage); err != nil {
+		return err
+	}
+	r := e.region
+	if r != nil && r.logSeg != nil && k.Chip != nil {
+		// On-chip logging: the page's TLB entry carries the log index;
+		// the page stays write-back (Section 4.6).
+		e.logged = true
+		e.writeThrough = r.writeThrough
+		k.Chip.MapPage((r.base>>PageShift)+e.segPage, r.logSeg.logIndex)
+	} else if k.Log != nil && e.seg.logged {
+		// The prototype logger tags physical pages, so any mapping of a
+		// segment with an active log is logged — whichever region the
+		// write comes through (the log itself is selected per segment by
+		// Activate/ContextSwitch).
+		e.logged = true
+		e.writeThrough = true
+		if cpu != nil {
+			cpu.Compute(cycles.LoggerEntrySetupCycles)
+		}
+		ls := e.seg.logTo
+		if !k.Log.LogHead(ls.logIndex).Valid && !ls.absorbing {
+			if !k.advanceLogHead(ls) {
+				return fmt.Errorf("vm: cannot initialize log head for %q", ls.name)
+			}
+		}
+		frame := e.seg.pages[e.segPage].frame
+		displaced := k.Log.LoadPMT(frame, ls.logIndex)
+		_ = displaced // displaced pages recover via logging faults
+	} else {
+		e.logged = false
+		e.writeThrough = r != nil && r.writeThrough
+	}
+	e.resident = true
+	return nil
+}
+
+// SetWriteThrough forces the region's pages into write-through mode
+// independent of logging (experimental control for the Section 4.5
+// measurements).
+func (r *Region) SetWriteThrough(wt bool) {
+	r.writeThrough = wt
+	if r.as != nil {
+		r.as.invalidateRange(r.base, r.size)
+	}
+}
+
+// PAddr returns the physical address backing va, faulting the page in
+// (uncharged) if needed.
+func (a *AddressSpace) PAddr(va Addr) (phys.Addr, error) {
+	e, err := a.lookup(va, nil)
+	if err != nil {
+		return 0, err
+	}
+	return phys.FrameBase(e.seg.pages[e.segPage].frame) + va&PageMask, nil
+}

@@ -1,0 +1,119 @@
+package vm
+
+import (
+	"fmt"
+
+	"lvm/internal/cycles"
+	"lvm/internal/machine"
+)
+
+// ResetStats reports what a ResetDeferredCopy did.
+type ResetStats struct {
+	PagesScanned int
+	DirtyPages   int
+	LinesReset   int
+	// Cycles is the cost charged for the reset.
+	Cycles uint64
+}
+
+// ResetDeferredCopy undoes all modifications to deferred-copy destination
+// pages in the virtual address range [start, end): for each address mapped
+// in deferred-copy mode, the next read returns the datum from the
+// deferred-copy source (Table 1: AddressSpace::resetDeferredCopy).
+//
+// Per Section 3.3, the implementation checks the per-page dirty bit to
+// skip clean pages, and for dirty pages it invalidates the modified cache
+// lines and re-points their sources at the source segment — no data is
+// copied. The cost charged is therefore proportional to the amount of
+// dirty data, which is what gives Figure 9 its shape.
+func (a *AddressSpace) ResetDeferredCopy(start, end Addr, cpu *machine.CPU) (ResetStats, error) {
+	var st ResetStats
+	if end < start {
+		return st, fmt.Errorf("vm: ResetDeferredCopy: end %#x < start %#x", end, start)
+	}
+	for vp := start >> PageShift; vp < (end+PageSize-1)>>PageShift; vp++ {
+		e, ok := a.pt[vp]
+		if !ok || e.seg.source == nil {
+			continue
+		}
+		st.PagesScanned++
+		st.Cycles += cycles.ResetPageCheckCycles
+		p := &e.seg.pages[e.segPage]
+		if p.frame == 0 || !p.dirty {
+			continue
+		}
+		st.DirtyPages++
+		lines := 0
+		for w := range p.lineDirty {
+			lines += popcount(p.lineDirty[w])
+			p.lineDirty[w] = 0
+			p.fromSource[w] = ^uint64(0)
+		}
+		p.dirty = false
+		st.LinesReset += lines
+		st.Cycles += uint64(lines) * cycles.ResetLineCycles
+		if cpu != nil {
+			// The processor's own cached copies of the page must go too.
+			cpu.D1.InvalidatePage(uint32(vp) << PageShift)
+		}
+	}
+	if cpu != nil {
+		cpu.Compute(st.Cycles)
+	}
+	return st, nil
+}
+
+// ResetDeferredCopySegment resets every page of a deferred-copy
+// destination segment directly (without going through a bound region).
+func (k *Kernel) ResetDeferredCopySegment(s *Segment, cpu *machine.CPU) (ResetStats, error) {
+	var st ResetStats
+	if s.source == nil {
+		return st, fmt.Errorf("vm: segment %q has no deferred-copy source", s.name)
+	}
+	for i := range s.pages {
+		st.PagesScanned++
+		st.Cycles += cycles.ResetPageCheckCycles
+		p := &s.pages[i]
+		if p.frame == 0 || !p.dirty {
+			continue
+		}
+		st.DirtyPages++
+		lines := 0
+		for w := range p.lineDirty {
+			lines += popcount(p.lineDirty[w])
+			p.lineDirty[w] = 0
+			p.fromSource[w] = ^uint64(0)
+		}
+		p.dirty = false
+		st.LinesReset += lines
+		st.Cycles += uint64(lines) * cycles.ResetLineCycles
+	}
+	if cpu != nil {
+		cpu.Compute(st.Cycles)
+		cpu.D1.InvalidateAll()
+	}
+	return st, nil
+}
+
+// Bcopy copies n bytes from srcOff in src to dstOff in dst, charging the
+// conventional block-copy cost (a block read plus a block write per
+// 16-byte line). This is the baseline resetDeferredCopy is compared
+// against in Section 4.4 / Figure 9.
+func (k *Kernel) Bcopy(cpu *machine.CPU, dst *Segment, dstOff uint32, src *Segment, srcOff uint32, n uint32) error {
+	if n == 0 {
+		return nil
+	}
+	if dstOff+n > dst.size || srcOff+n > src.size {
+		return fmt.Errorf("vm: Bcopy out of range")
+	}
+	buf := make([]byte, n)
+	src.readInto(srcOff, buf)
+	if err := dst.writeBytes(dstOff, buf); err != nil {
+		return err
+	}
+	lines := uint64((n + LineSize - 1) / LineSize)
+	if cpu != nil {
+		cpu.Compute(lines * cycles.BcopyLineCycles)
+	}
+	return nil
+}

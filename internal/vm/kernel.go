@@ -1,0 +1,300 @@
+// Package vm implements the virtual-memory system software of the LVM
+// prototype: the V++ Cache Kernel extensions of Sections 2 and 3.2–3.3 of
+// the paper.
+//
+// It provides memory segments, regions (mappings of segments into address
+// spaces), log segments, per-region logging, deferred copy, and the two
+// kernel fault paths the paper describes:
+//
+//   - the page-fault handler, which allocates a frame, initializes the
+//     page (zero-fill, a user-level segment manager, or the deferred-copy
+//     source), puts logged pages into write-through mode, and loads the
+//     hardware logger's page-mapping-table and log-table entries; and
+//   - the logging-fault handler, which reloads displaced page-mapping
+//     entries and advances a log to its next page frame when the hardware
+//     invalidates the log-table entry at a page crossing, falling back to
+//     a default "absorb" page (discarding records) when the user has not
+//     extended the log segment.
+//
+// All kernel work is charged in cycles to the faulting CPU, calibrated per
+// package cycles.
+package vm
+
+import (
+	"fmt"
+
+	"lvm/internal/cycles"
+	"lvm/internal/hwlogger"
+	"lvm/internal/machine"
+	"lvm/internal/phys"
+	"lvm/internal/tlblog"
+)
+
+// Addr is a 32-bit virtual address.
+type Addr = uint32
+
+// Page constants re-exported for convenience.
+const (
+	PageSize  = phys.PageSize
+	PageShift = phys.PageShift
+	PageMask  = phys.PageMask
+	LineSize  = cycles.LineSize
+	// LinesPerPage is the number of 16-byte cache lines in a page.
+	LinesPerPage = PageSize / LineSize
+)
+
+// frameOwner records which segment page occupies a physical frame, for the
+// logger's reverse translation and for logging-fault recovery.
+type frameOwner struct {
+	seg  *Segment
+	page uint32
+}
+
+// Kernel is the virtual-memory system: it owns the machine, the hardware
+// logger, the frame-ownership (reverse) map, and the log-index allocator.
+type Kernel struct {
+	M   *machine.Machine
+	Log *hwlogger.Logger
+	// Chip is the Section 4.6 on-chip logger; exactly one of Log and
+	// Chip is non-nil on a logging-capable kernel (see NewKernelOnChip).
+	Chip *tlblog.Logger
+
+	owners map[uint32]frameOwner // ppn -> owner
+
+	freeLogIdx    []uint16
+	segments      []*Segment
+	addressSpaces int
+	asList        []*AddressSpace
+
+	// absorbFrame is the default log page used to absorb records when a
+	// log segment runs out of space (Section 3.2).
+	absorbFrame uint32
+
+	// Stats.
+	PageFaults    uint64
+	LoggingFaults uint64
+	Overloads     uint64
+	AbsorbedPages uint64
+	Evictions     uint64
+}
+
+// NewKernel builds a machine per cfg, attaches a hardware logger to its
+// bus, and wires the kernel's fault handlers into it.
+func NewKernel(cfg machine.Config) *Kernel {
+	m := machine.New(cfg)
+	k := &Kernel{
+		M:      m,
+		Log:    hwlogger.New(m.Bus, m.Phys),
+		owners: make(map[uint32]frameOwner),
+	}
+	m.Log = k.Log
+	for i := k.Log.NumLogs() - 1; i >= 0; i-- {
+		k.freeLogIdx = append(k.freeLogIdx, uint16(i))
+	}
+	f, err := m.Phys.Alloc()
+	if err != nil {
+		panic("vm: cannot allocate absorb frame")
+	}
+	k.absorbFrame = f
+	k.Log.OnFault = k.handleLoggingFault
+	k.Log.OnOverload = func(drained uint64) uint64 {
+		k.Overloads++
+		resume := drained + cycles.OverloadKernelCycles
+		k.M.StallAll(resume)
+		return resume
+	}
+	return k
+}
+
+// NewKernelNoLogger builds a kernel without a logging device, for
+// baselines that must not pay even the possibility of snooping.
+func NewKernelNoLogger(cfg machine.Config) *Kernel {
+	m := machine.New(cfg)
+	k := &Kernel{M: m, owners: make(map[uint32]frameOwner)}
+	return k
+}
+
+// allocLogIndex reserves a hardware log-table slot.
+func (k *Kernel) allocLogIndex() (uint16, error) {
+	if len(k.freeLogIdx) == 0 {
+		return 0, fmt.Errorf("vm: out of hardware log-table entries")
+	}
+	i := k.freeLogIdx[len(k.freeLogIdx)-1]
+	k.freeLogIdx = k.freeLogIdx[:len(k.freeLogIdx)-1]
+	return i, nil
+}
+
+func (k *Kernel) releaseLogIndex(i uint16) {
+	if k.Log != nil {
+		k.Log.InvalidateLog(i)
+	}
+	if k.Chip != nil {
+		k.Chip.Invalidate(i)
+	}
+	k.freeLogIdx = append(k.freeLogIdx, i)
+}
+
+// ReverseTranslate maps a physical address (as found in a prototype log
+// record) back to the owning segment and byte offset within it. This is
+// the software reverse translation discussed in Section 3.1.2: the
+// FPGA logger stores physical addresses, so log consumers translate.
+func (k *Kernel) ReverseTranslate(paddr phys.Addr) (seg *Segment, off uint32, ok bool) {
+	o, found := k.owners[phys.PPN(paddr)]
+	if !found {
+		return nil, 0, false
+	}
+	return o.seg, o.page*PageSize + paddr&PageMask, true
+}
+
+// handleLoggingFault is the kernel's logging-fault handler (Section 3.2).
+func (k *Kernel) handleLoggingFault(l *hwlogger.Logger, f hwlogger.Fault) bool {
+	k.LoggingFaults++
+	switch f.Kind {
+	case hwlogger.FaultMissingPMT:
+		// A displaced page-mapping entry: reload it from the frame
+		// ownership map if the owning segment is logged.
+		o, found := k.owners[f.PPN]
+		if !found || !o.seg.logged {
+			return false
+		}
+		l.LoadPMT(f.PPN, o.seg.logIndex)
+		if !l.LogHead(o.seg.logIndex).Valid {
+			return k.advanceLogHead(o.seg.logTo)
+		}
+		return true
+	case hwlogger.FaultInvalidLogAddr:
+		// The log address crossed a page boundary: move the head to the
+		// log segment's next page, or to the absorb page.
+		for _, s := range k.segments {
+			if s.isLog && s.logIdxValid && s.logIndex == f.LogIndex {
+				return k.advanceLogHead(s)
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// advanceLogHead points the hardware log head at the next page of the log
+// segment, or at the kernel's absorb page when the user has not provided
+// one ("If the user has not provided a page, the kernel uses a default log
+// page to absorb the log records... Log records may be lost in this
+// case.", Section 3.2).
+func (k *Kernel) advanceLogHead(ls *Segment) bool {
+	if ls == nil || !ls.logIdxValid {
+		return false
+	}
+	k.accountAbsorbLoss(ls)
+	if ls.nextPage < ls.NumPages() {
+		frame, err := ls.ensureFrame(ls.nextPage)
+		if err != nil {
+			return false
+		}
+		ls.hwPage = ls.nextPage
+		ls.nextPage++
+		ls.absorbing = false
+		k.Log.SetLogHead(ls.logIndex, phys.FrameBase(frame), ls.logMode)
+		return true
+	}
+	// Absorb: records land in the absorb frame and are lost.
+	k.AbsorbedPages++
+	ls.absorbing = true
+	k.Log.SetLogHead(ls.logIndex, phys.FrameBase(k.absorbFrame), ls.logMode)
+	return true
+}
+
+// accountAbsorbLoss tallies the records that landed in the absorb frame
+// since it was last loaded for this log.
+func (k *Kernel) accountAbsorbLoss(ls *Segment) {
+	if !ls.absorbing || k.Log == nil {
+		return
+	}
+	h := k.Log.LogHead(ls.logIndex)
+	if h.Valid {
+		ls.lostRecords += uint64(h.Addr-phys.FrameBase(k.absorbFrame)) / uint64(ls.recordSize())
+	} else {
+		// The absorb page filled completely before the head was moved.
+		ls.lostRecords += uint64(PageSize / ls.recordSize())
+	}
+}
+
+// setLogHeadAt points the hardware head at byte offset off of the log
+// segment (used when logging is (re-)enabled: the head resumes at the end
+// of the log segment data, Section 3.2).
+func (k *Kernel) setLogHeadAt(ls *Segment, off uint32) error {
+	k.accountAbsorbLoss(ls)
+	page := off >> PageShift
+	if page >= ls.NumPages() {
+		// Already full: absorb from the start.
+		ls.nextPage = ls.NumPages()
+		return boolErr(k.advanceLogHead(ls), "vm: cannot start log head")
+	}
+	frame, err := ls.ensureFrame(page)
+	if err != nil {
+		return err
+	}
+	ls.hwPage = page
+	ls.nextPage = page + 1
+	ls.absorbing = false
+	ls.started = true
+	k.Log.SetLogHead(ls.logIndex, phys.FrameBase(frame)+(off&PageMask), ls.logMode)
+	return nil
+}
+
+func boolErr(ok bool, msg string) error {
+	if !ok {
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+// LogAppendOffset reports the byte offset within the log segment at which
+// the next record will be written (i.e. the current end of the log data).
+// Call Sync first to account for in-flight records.
+func (k *Kernel) LogAppendOffset(ls *Segment) uint32 {
+	if k.Chip != nil {
+		return k.chipAppendOffset(ls)
+	}
+	if !ls.logIdxValid || !ls.started {
+		return ls.savedOff
+	}
+	if ls.absorbing {
+		return ls.NumPages() * PageSize
+	}
+	h := k.Log.LogHead(ls.logIndex)
+	if !h.Valid {
+		// The head invalidated itself at a page crossing: the page
+		// before nextPage is full.
+		return ls.nextPage * PageSize
+	}
+	return ls.hwPage*PageSize + (h.Addr & PageMask)
+}
+
+// TruncateLog discards the contents of a log segment and moves the append
+// position back to its start (log truncation, Sections 2.4 and 4.2).
+func (k *Kernel) TruncateLog(ls *Segment) error {
+	return k.RewindLog(ls, 0)
+}
+
+// RewindLog moves a log segment's append position back to byte offset off,
+// discarding the records at and beyond it. RLVM uses this to drop the
+// records of an aborted transaction. In-flight records are drained first.
+func (k *Kernel) RewindLog(ls *Segment, off uint32) error {
+	if !ls.isLog {
+		return fmt.Errorf("vm: RewindLog on non-log segment %q", ls.name)
+	}
+	k.Sync()
+	ls.savedOff = off
+	if !ls.logIdxValid {
+		return nil
+	}
+	if k.Chip != nil {
+		return k.setChipHeadAt(ls, off)
+	}
+	return k.setLogHeadAt(ls, off)
+}
+
+// Sync completes all in-flight logger work (the "synchronize on the end of
+// the log" of Section 2.6) and returns the cycle at which the machine went
+// idle.
+func (k *Kernel) Sync() uint64 { return k.M.Drain() }

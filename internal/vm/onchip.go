@@ -1,0 +1,211 @@
+package vm
+
+import (
+	"fmt"
+
+	"lvm/internal/machine"
+	"lvm/internal/phys"
+	"lvm/internal/tlblog"
+)
+
+// On-chip logging mode (Section 4.6 of the paper): instead of the bus
+// logger, the kernel drives a processor with TLB-resident log support.
+// Consequences, exactly as the paper describes:
+//
+//   - log records carry virtual addresses, so no reverse translation is
+//     needed and "per-region logging is also directly supported" — the
+//     prototype's one-logged-region-per-segment restriction disappears;
+//   - logged pages stay in ordinary write-back mode ("while still using
+//     a physically addressed cache"): the CPU emits the record itself,
+//     so logged writes cost the same as unlogged writes;
+//   - there are no FIFO overload interrupts: "the processor is
+//     automatically stalled if there is an excessive level of write
+//     activity to a logged region."
+//
+// The kernel keeps the same Segment/Region/LogSegment interface; only the
+// fault handling underneath differs.
+
+// NewKernelOnChip builds a machine whose logging device is the
+// next-generation on-chip logger.
+func NewKernelOnChip(cfg machine.Config) *Kernel {
+	m := machine.New(cfg)
+	k := &Kernel{
+		M:      m,
+		owners: make(map[uint32]frameOwner),
+	}
+	k.Chip = tlblog.New(m.Bus, m.Phys)
+	m.Log = k.Chip
+	for i := 63; i >= 0; i-- {
+		k.freeLogIdx = append(k.freeLogIdx, uint16(i))
+	}
+	f, err := m.Phys.Alloc()
+	if err != nil {
+		panic("vm: cannot allocate absorb frame")
+	}
+	k.absorbFrame = f
+	k.Chip.OnFull = k.handleChipFull
+	return k
+}
+
+// OnChip reports whether this kernel uses the Section 4.6 logger.
+func (k *Kernel) OnChip() bool { return k.Chip != nil }
+
+// handleChipFull advances a log to its next page when the descriptor's
+// space is exhausted (the on-chip analogue of the invalid-log-address
+// logging fault).
+func (k *Kernel) handleChipFull(l *tlblog.Logger, logIndex uint16) bool {
+	k.LoggingFaults++
+	for _, s := range k.segments {
+		if s.isLog && s.logIdxValid && s.logIndex == logIndex && s.started {
+			return k.advanceChipHead(s)
+		}
+	}
+	return false
+}
+
+// advanceChipHead points the log descriptor at the log segment's next
+// page, or at the absorb page when the user has not extended the segment.
+func (k *Kernel) advanceChipHead(ls *Segment) bool {
+	if ls == nil || !ls.logIdxValid {
+		return false
+	}
+	k.accountChipAbsorbLoss(ls)
+	if ls.nextPage < ls.NumPages() {
+		frame, err := ls.ensureFrame(ls.nextPage)
+		if err != nil {
+			return false
+		}
+		ls.hwPage = ls.nextPage
+		ls.nextPage++
+		ls.absorbing = false
+		base := phys.FrameBase(frame)
+		k.Chip.SetDescriptor(ls.logIndex, base, base+PageSize)
+		return true
+	}
+	k.AbsorbedPages++
+	ls.absorbing = true
+	base := phys.FrameBase(k.absorbFrame)
+	k.Chip.SetDescriptor(ls.logIndex, base, base+PageSize)
+	return true
+}
+
+// setChipHeadAt positions the descriptor at byte offset off of the log
+// segment.
+func (k *Kernel) setChipHeadAt(ls *Segment, off uint32) error {
+	k.accountChipAbsorbLoss(ls)
+	page := off >> PageShift
+	if page >= ls.NumPages() {
+		ls.nextPage = ls.NumPages()
+		if !k.advanceChipHead(ls) {
+			return fmt.Errorf("vm: cannot start on-chip log head")
+		}
+		return nil
+	}
+	frame, err := ls.ensureFrame(page)
+	if err != nil {
+		return err
+	}
+	ls.hwPage = page
+	ls.nextPage = page + 1
+	ls.absorbing = false
+	ls.started = true
+	base := phys.FrameBase(frame)
+	k.Chip.SetDescriptor(ls.logIndex, base+(off&PageMask), base+PageSize)
+	return nil
+}
+
+// accountChipAbsorbLoss tallies records lost to the absorb page.
+func (k *Kernel) accountChipAbsorbLoss(ls *Segment) {
+	if !ls.absorbing || k.Chip == nil {
+		return
+	}
+	d := k.Chip.Descriptor(ls.logIndex)
+	ls.lostRecords += uint64(d.Addr-phys.FrameBase(k.absorbFrame)) / uint64(ls.recordSize())
+}
+
+// chipAppendOffset is LogAppendOffset for on-chip logs.
+func (k *Kernel) chipAppendOffset(ls *Segment) uint32 {
+	if !ls.logIdxValid || !ls.started {
+		return ls.savedOff
+	}
+	if ls.absorbing {
+		return ls.NumPages() * PageSize
+	}
+	d := k.Chip.Descriptor(ls.logIndex)
+	if !d.Valid {
+		return ls.savedOff
+	}
+	return ls.hwPage*PageSize + (d.Addr & PageMask)
+}
+
+// logOnChip enables logging for a region under the on-chip design: the
+// region's virtual pages are tagged in the (extended) TLB with the log's
+// descriptor index. Several regions of the same segment may log to
+// different segments — the per-region logging of Section 4.6.
+func (k *Kernel) logOnChip(r *Region, ls *Segment) error {
+	if r.mode != 0 { // hwlogger.ModeRecord
+		return fmt.Errorf("vm: the on-chip logger supports record mode only")
+	}
+	if !ls.logIdxValid {
+		idx, err := k.allocLogIndex()
+		if err != nil {
+			return err
+		}
+		ls.logIndex = idx
+		ls.logIdxValid = true
+	}
+	if err := k.setChipHeadAt(ls, ls.savedOff); err != nil {
+		return err
+	}
+	r.logSeg = ls
+	ls.loggedRegion = r
+	if r.as != nil {
+		r.mapChipPages()
+		r.as.invalidateRange(r.base, r.size)
+	}
+	return nil
+}
+
+// mapChipPages installs the TLB log tags for every page of the region.
+func (r *Region) mapChipPages() {
+	k := r.seg.k
+	npages := (r.size + PageSize - 1) / PageSize
+	for p := uint32(0); p < npages; p++ {
+		k.Chip.MapPage((r.base>>PageShift)+p, r.logSeg.logIndex)
+	}
+}
+
+// unlogOnChip disables on-chip logging for the region.
+func (k *Kernel) unlogOnChip(r *Region) {
+	ls := r.logSeg
+	k.Sync()
+	ls.savedOff = k.chipAppendOffset(ls)
+	if ls.logIdxValid {
+		k.Chip.Invalidate(ls.logIndex)
+	}
+	ls.started = false
+	if r.as != nil {
+		npages := (r.size + PageSize - 1) / PageSize
+		for p := uint32(0); p < npages; p++ {
+			k.Chip.UnmapPage((r.base >> PageShift) + p)
+		}
+		r.as.invalidateRange(r.base, r.size)
+	}
+	ls.loggedRegion = nil
+	r.logSeg = nil
+}
+
+// ResolveLogAddr maps a log record's address field to the segment and
+// offset it names: physical reverse translation for the prototype logger,
+// direct virtual resolution through the logged region for the on-chip
+// logger (whose records hold virtual addresses).
+func (k *Kernel) ResolveLogAddr(ls *Segment, addr uint32) (seg *Segment, off uint32, ok bool) {
+	if k.Chip != nil {
+		r := ls.loggedRegion
+		if r == nil || addr < r.base || addr >= r.base+r.size {
+			return nil, 0, false
+		}
+		return r.seg, addr - r.base, true
+	}
+	return k.ReverseTranslate(addr)
+}

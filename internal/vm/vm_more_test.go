@@ -1,0 +1,294 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lvm/internal/cycles"
+	"lvm/internal/machine"
+)
+
+func TestTranslateWithoutFault(t *testing.T) {
+	k := testKernel()
+	s := k.NewSegment("s", 2*PageSize, nil)
+	r := k.NewRegion(s)
+	as := k.NewAddressSpace()
+	base, _ := r.Bind(as, 0)
+	seg, off, ok := as.Translate(base + PageSize + 12)
+	if !ok || seg != s || off != PageSize+12 {
+		t.Fatalf("Translate = %v %d %v", seg, off, ok)
+	}
+	if _, _, ok := as.Translate(0xFEED0000); ok {
+		t.Fatalf("Translate of unmapped address succeeded")
+	}
+	// Translate must not fault the page in.
+	if s.Resident(1) {
+		t.Fatalf("Translate made page resident")
+	}
+}
+
+func TestPAddrFaultsIn(t *testing.T) {
+	k := testKernel()
+	s := k.NewSegment("s", PageSize, nil)
+	r := k.NewRegion(s)
+	as := k.NewAddressSpace()
+	base, _ := r.Bind(as, 0)
+	pa, err := as.PAddr(base + 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != s.Frame(0)<<PageShift+40 {
+		t.Fatalf("PAddr = %#x", pa)
+	}
+	if _, err := as.PAddr(0xFEED0000); err == nil {
+		t.Fatalf("PAddr of unmapped succeeded")
+	}
+}
+
+func TestAutoBindAddressesDisjoint(t *testing.T) {
+	k := testKernel()
+	as := k.NewAddressSpace()
+	var prevEnd Addr
+	for i := 0; i < 5; i++ {
+		s := k.NewSegment("s", 3*PageSize, nil)
+		r := k.NewRegion(s)
+		base, err := r.Bind(as, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base < prevEnd {
+			t.Fatalf("auto bind overlapped: %#x < %#x", base, prevEnd)
+		}
+		prevEnd = base + 3*PageSize
+	}
+}
+
+func TestAddressSpacesGetDistinctBases(t *testing.T) {
+	k := testKernel()
+	a1 := k.NewAddressSpace()
+	a2 := k.NewAddressSpace()
+	s1 := k.NewSegment("s1", PageSize, nil)
+	s2 := k.NewSegment("s2", PageSize, nil)
+	b1, _ := k.NewRegion(s1).Bind(a1, 0)
+	b2, _ := k.NewRegion(s2).Bind(a2, 0)
+	if b1 == b2 {
+		t.Fatalf("default bases collide across address spaces: %#x", b1)
+	}
+}
+
+func TestUnbindThenRebind(t *testing.T) {
+	k := testKernel()
+	s := k.NewSegment("s", PageSize, nil)
+	s.Write32(0, 42)
+	r := k.NewRegion(s)
+	as := k.NewAddressSpace()
+	base, _ := r.Bind(as, 0x3000_0000)
+	p := k.NewProcess(0, as)
+	if got := p.Load32(base); got != 42 {
+		t.Fatalf("pre-unbind read = %d", got)
+	}
+	r.Unbind()
+	func() {
+		defer func() { recover() }()
+		p.Load32(base)
+		t.Fatalf("access after unbind did not fault")
+	}()
+	base2, err := r.Bind(as, 0x4000_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Load32(base2); got != 42 {
+		t.Fatalf("post-rebind read = %d", got)
+	}
+}
+
+func TestSetWriteThroughWithoutLogging(t *testing.T) {
+	k := testKernel()
+	s := k.NewSegment("s", PageSize, nil)
+	r := k.NewRegion(s)
+	r.SetWriteThrough(true)
+	as := k.NewAddressSpace()
+	base, _ := r.Bind(as, 0)
+	p := k.NewProcess(0, as)
+	p.Store32(base, 1) // fault
+	start := p.Now()
+	p.Store32(base+4, 2)
+	if got := p.Now() - start; got != cycles.WordWriteThroughTotal {
+		t.Fatalf("write-through cost = %d", got)
+	}
+	k.Sync()
+	if k.Log.RecordsWritten != 0 {
+		t.Fatalf("unlogged write-through produced records")
+	}
+}
+
+func TestDeferredCopyDetachSource(t *testing.T) {
+	k := testKernel()
+	src := k.NewSegment("src", PageSize, nil)
+	src.Write32(0, 7)
+	dst := k.NewSegment("dst", PageSize, nil)
+	dst.SetSourceSegment(src, 0)
+	if dst.Read32(0) != 7 {
+		t.Fatalf("read-through failed")
+	}
+	dst.SetSourceSegment(nil, 0)
+	if got := dst.Read32(0); got != 0 {
+		t.Fatalf("after detach = %d, want 0 (own zero frame)", got)
+	}
+}
+
+func TestStoreBytesLoadBytesRoundTrip(t *testing.T) {
+	k := testKernel()
+	s := k.NewSegment("s", PageSize, nil)
+	r := k.NewRegion(s)
+	as := k.NewAddressSpace()
+	base, _ := r.Bind(as, 0)
+	p := k.NewProcess(0, as)
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	p.StoreBytes(base+4, data)
+	got := p.LoadBytes(base+4, len(data))
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d", i, got[i])
+		}
+	}
+}
+
+func TestLoggedStoreBytesRecordsEverything(t *testing.T) {
+	k := testKernel()
+	_, _, ls, p, base := setupLogged(t, k, 1, 4)
+	p.StoreBytes(base, []byte{1, 2, 3, 4, 5, 6}) // one word + two bytes
+	k.Sync()
+	if got := k.LogAppendOffset(ls) / 16; got != 3 {
+		t.Fatalf("records = %d, want 3 (4B + 1B + 1B)", got)
+	}
+}
+
+func TestPropertyDeferredCopyMatchesShadow(t *testing.T) {
+	// Random interleavings of writes to source and destination plus
+	// resets must match a simple shadow model.
+	type op struct {
+		ToSrc bool
+		Reset bool
+		Off   uint16
+		Val   uint32
+	}
+	prop := func(ops []op) bool {
+		if len(ops) > 200 {
+			ops = ops[:200]
+		}
+		k := testKernel()
+		src := k.NewSegment("src", 2*PageSize, nil)
+		dst := k.NewSegment("dst", 2*PageSize, nil)
+		if dst.SetSourceSegment(src, 0) != nil {
+			return false
+		}
+		srcShadow := map[uint32]uint32{}
+		dstShadow := map[uint32]bool{} // has dst diverged at off?
+		dstVals := map[uint32]uint32{}
+		for _, o := range ops {
+			off := uint32(o.Off) % (2*PageSize - 4) &^ 3
+			switch {
+			case o.Reset:
+				if _, err := k.ResetDeferredCopySegment(dst, nil); err != nil {
+					return false
+				}
+				dstShadow = map[uint32]bool{}
+				dstVals = map[uint32]uint32{}
+			case o.ToSrc:
+				src.Write32(off, o.Val)
+				srcShadow[off] = o.Val
+			default:
+				dst.Write32(off, o.Val)
+				// A dst write materializes the whole 16-byte line: the
+				// other words of the line freeze at current src values.
+				line := off &^ 15
+				for w := line; w < line+16; w += 4 {
+					if !dstShadow[w] {
+						dstShadow[w] = true
+						dstVals[w] = srcShadow[w]
+					}
+				}
+				dstVals[off] = o.Val
+			}
+		}
+		for off := uint32(0); off < 2*PageSize; off += 4 {
+			var want uint32
+			if dstShadow[off] {
+				want = dstVals[off]
+			} else {
+				want = srcShadow[off]
+			}
+			if dst.Read32(off) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiCPULoggedWritesShareOneLog(t *testing.T) {
+	k := NewKernel(machine.Config{NumCPUs: 4, MemFrames: 2048})
+	s := k.NewSegment("shared", PageSize, nil)
+	ls := k.NewLogSegment("log", 8)
+	r := k.NewRegion(s)
+	if err := r.Log(ls); err != nil {
+		t.Fatal(err)
+	}
+	as := k.NewAddressSpace()
+	base, _ := r.Bind(as, 0)
+	procs := make([]*Process, 4)
+	for i := range procs {
+		procs[i] = k.NewProcess(i, as)
+	}
+	for round := uint32(0); round < 20; round++ {
+		for i, p := range procs {
+			p.Compute(100)
+			p.Store32(base+uint32(i)*4, round*10+uint32(i))
+		}
+	}
+	k.Sync()
+	if got := k.LogAppendOffset(ls) / 16; got != 80 {
+		t.Fatalf("records = %d, want 80", got)
+	}
+	// CPU attribution survives in the records.
+	cpus := map[uint16]int{}
+	for i := uint32(0); i < 80; i++ {
+		rec := ls.RawRead(i*16, 16)
+		cpus[uint16(rec[10])|uint16(rec[11])<<8]++
+	}
+	for c := uint16(0); c < 4; c++ {
+		if cpus[c] != 20 {
+			t.Fatalf("cpu %d wrote %d records, want 20", c, cpus[c])
+		}
+	}
+}
+
+func TestResetDeferredCopyRangeSubset(t *testing.T) {
+	k := testKernel()
+	src := k.NewSegment("src", 4*PageSize, nil)
+	dst := k.NewSegment("dst", 4*PageSize, nil)
+	dst.SetSourceSegment(src, 0)
+	r := k.NewRegion(dst)
+	as := k.NewAddressSpace()
+	base, _ := r.Bind(as, 0)
+	p := k.NewProcess(0, as)
+	p.Store32(base, 1)
+	p.Store32(base+2*PageSize, 2)
+	// Reset only the first two pages.
+	if _, err := as.ResetDeferredCopy(base, base+2*PageSize, p.CPU); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Load32(base); got != 0 {
+		t.Fatalf("page0 not reset: %d", got)
+	}
+	if got := p.Load32(base + 2*PageSize); got != 2 {
+		t.Fatalf("page2 reset despite being out of range: %d", got)
+	}
+	if _, err := as.ResetDeferredCopy(base+PageSize, base, nil); err == nil {
+		t.Fatalf("inverted range accepted")
+	}
+}

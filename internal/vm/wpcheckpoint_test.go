@@ -1,0 +1,152 @@
+package vm
+
+import (
+	"testing"
+
+	"lvm/internal/machine"
+)
+
+func wpRig(t *testing.T) (*Kernel, *Segment, *Process, Addr, *WPCheckpoint) {
+	t.Helper()
+	k := NewKernelNoLogger(machine.Config{NumCPUs: 1, MemFrames: 1024})
+	s := k.NewSegment("data", 4*PageSize, nil)
+	r := k.NewRegion(s)
+	as := k.NewAddressSpace()
+	base, err := r.Bind(as, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProcess(0, as)
+	// Warm residency.
+	for off := uint32(0); off < 4*PageSize; off += PageSize {
+		p.Load32(base + off)
+	}
+	wp, err := k.NewWPCheckpoint(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, s, p, base, wp
+}
+
+func TestWPRollbackRestores(t *testing.T) {
+	_, _, p, base, wp := wpRig(t)
+	p.Store32(base, 1)
+	p.Store32(base+PageSize, 2)
+	wp.Checkpoint(p.CPU)
+	p.Store32(base, 100)
+	p.Store32(base+PageSize+8, 200)
+	if wp.DirtyPages() != 2 {
+		t.Fatalf("dirty pages = %d", wp.DirtyPages())
+	}
+	if err := wp.Rollback(p.CPU); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Load32(base); got != 1 {
+		t.Fatalf("page0 after rollback = %d", got)
+	}
+	if got := p.Load32(base + PageSize); got != 2 {
+		t.Fatalf("page1 after rollback = %d", got)
+	}
+	if got := p.Load32(base + PageSize + 8); got != 0 {
+		t.Fatalf("page1+8 after rollback = %d", got)
+	}
+}
+
+func TestWPCheckpointRemainsActiveAfterRollback(t *testing.T) {
+	_, _, p, base, wp := wpRig(t)
+	wp.Checkpoint(p.CPU)
+	p.Store32(base, 7)
+	wp.Rollback(p.CPU)
+	// Pages are re-protected: another write, another rollback.
+	p.Store32(base, 8)
+	if wp.DirtyPages() != 1 {
+		t.Fatalf("page not re-protected: dirty = %d", wp.DirtyPages())
+	}
+	wp.Rollback(p.CPU)
+	if got := p.Load32(base); got != 0 {
+		t.Fatalf("after second rollback = %d", got)
+	}
+}
+
+func TestWPCommitKeepsChanges(t *testing.T) {
+	_, _, p, base, wp := wpRig(t)
+	wp.Checkpoint(p.CPU)
+	p.Store32(base, 9)
+	wp.Commit(p.CPU)
+	if got := p.Load32(base); got != 9 {
+		t.Fatalf("after commit = %d", got)
+	}
+	if wp.Active() {
+		t.Fatalf("still active after commit")
+	}
+	if err := wp.Rollback(p.CPU); err == nil {
+		t.Fatalf("rollback after commit accepted")
+	}
+}
+
+func TestWPFaultCostChargedOncePerPage(t *testing.T) {
+	_, _, p, base, wp := wpRig(t)
+	wp.Checkpoint(p.CPU)
+	before := p.Now()
+	p.Store32(base, 1) // fault: trap + page copy
+	faultCost := p.Now() - before
+	if faultCost < FaultCost() {
+		t.Fatalf("first write cost %d < fault cost %d", faultCost, FaultCost())
+	}
+	before = p.Now()
+	p.Store32(base+4, 2) // same page: no fault
+	if got := p.Now() - before; got >= FaultCost() {
+		t.Fatalf("second write to page re-faulted: %d cycles", got)
+	}
+	if wp.Faults != 1 {
+		t.Fatalf("faults = %d", wp.Faults)
+	}
+}
+
+func TestWPCheckpointReplacesPrevious(t *testing.T) {
+	_, _, p, base, wp := wpRig(t)
+	wp.Checkpoint(p.CPU)
+	p.Store32(base, 5)
+	wp.Checkpoint(p.CPU) // new checkpoint: 5 is now the baseline
+	p.Store32(base, 6)
+	wp.Rollback(p.CPU)
+	if got := p.Load32(base); got != 5 {
+		t.Fatalf("rollback went past the newer checkpoint: %d", got)
+	}
+}
+
+func TestWPOnePerSegment(t *testing.T) {
+	k, s, _, _, wp := wpRig(t)
+	if _, err := k.NewWPCheckpoint(s); err == nil {
+		t.Fatalf("second checkpointer on one segment accepted")
+	}
+	wp.Close()
+	if _, err := k.NewWPCheckpoint(s); err != nil {
+		t.Fatalf("checkpointer after Close rejected: %v", err)
+	}
+}
+
+func TestWPSubWordWritesSavePage(t *testing.T) {
+	_, _, p, base, wp := wpRig(t)
+	p.Store32(base+16, 0x11223344)
+	wp.Checkpoint(p.CPU)
+	p.Store8(base+17, 0xFF)
+	wp.Rollback(p.CPU)
+	if got := p.Load32(base + 16); got != 0x11223344 {
+		t.Fatalf("byte write not rolled back: %#x", got)
+	}
+}
+
+func TestWPGrowsWithSegmentExtend(t *testing.T) {
+	k, s, p, base, wp := wpRig(t)
+	_ = k
+	s.Extend(2)
+	wp.Checkpoint(p.CPU)
+	// A write to the new page must be protected too.
+	_ = base
+	s.Write32(4*PageSize+8, 42) // raw write also triggers the save
+	wp.Rollback(nil)
+	if got := s.Read32(4*PageSize + 8); got != 0 {
+		t.Fatalf("extended page not rolled back: %d", got)
+	}
+}
