@@ -1,0 +1,28 @@
+package lvm_test
+
+import (
+	"testing"
+
+	"lvm/internal/experiments"
+)
+
+// TestLoggedStoreZeroAlloc pins the simulated store path at zero host
+// allocations per logged store once the workload is warm: the hardware
+// FIFOs are fixed-capacity rings, the log reader decodes into a scratch
+// buffer, and every frame the loop touches is already resident. A
+// regression here silently caps simulator throughput, so it fails the
+// build rather than just showing up in -benchmem output.
+func TestLoggedStoreZeroAlloc(t *testing.T) {
+	sl, err := experiments.NewStoreLoop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	// 20000 steps cover five truncate periods, so the measurement
+	// includes the log-wrap path, not just the straight-line store.
+	if avg := testing.AllocsPerRun(20000, sl.Step); avg != 0 {
+		t.Fatalf("logged store allocates: %v allocs/op (want 0)", avg)
+	}
+}

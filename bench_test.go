@@ -12,7 +12,6 @@ package lvm_test
 import (
 	"testing"
 
-	"lvm/internal/core"
 	"lvm/internal/experiments"
 	"lvm/internal/timewarp"
 	"lvm/internal/tpca"
@@ -289,29 +288,20 @@ func BenchmarkExtensionParallelSim(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures the host-side speed of the
 // simulator itself: simulated logged stores per wall-clock second. This
-// is about the Go implementation, not the modeled machine.
+// is about the Go implementation, not the modeled machine. The warmed
+// steady state is allocation-free (TestLoggedStoreZeroAlloc pins that).
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	sys := core.NewSystem(core.Config{NumCPUs: 1, MemFrames: 16 << 8})
-	seg := core.NewStdSegment(sys, 64*core.PageSize, nil)
-	reg := core.NewStdRegion(sys, seg)
-	ls := core.NewLogSegment(sys, 16)
-	if err := reg.Log(ls); err != nil {
-		b.Fatal(err)
-	}
-	as := sys.NewAddressSpace()
-	base, err := reg.Bind(as, 0)
+	sl, err := experiments.NewStoreLoop()
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := sys.NewProcess(0, as)
-	r := core.NewLogReader(sys, ls)
+	if err := sl.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.Compute(100)
-		p.Store32(base+uint32(i*4)%(64*core.PageSize), uint32(i))
-		if i%4000 == 3999 {
-			r.Truncate() // keep the log bounded
-		}
+		sl.Step()
 	}
 }
 

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"lvm/internal/experiments"
+	"lvm/internal/sim"
+)
+
+// benchReport is the schema of BENCH_lvm.json: the repository's host-side
+// performance baseline. It records how fast the simulator itself runs, not
+// any simulated quantity — simulated cycles are pinned by the tests.
+type benchReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Throughput struct {
+		NsPerStore     float64 `json:"ns_per_store"`
+		AllocsPerStore int64   `json:"allocs_per_store"`
+		BytesPerStore  int64   `json:"bytes_per_store"`
+		StoresPerSec   float64 `json:"stores_per_sec"`
+	} `json:"logged_store_throughput"`
+
+	Fig7 struct {
+		Events        int     `json:"events_per_point"`
+		Workers       int     `json:"parallel_workers"`
+		SequentialSec float64 `json:"sequential_sec"`
+		ParallelSec   float64 `json:"parallel_sec"`
+		Speedup       float64 `json:"speedup"`
+		Identical     bool    `json:"output_identical"`
+	} `json:"fig7_sweep_wallclock"`
+}
+
+// benchJSON measures the logged-store hot path with the standard Go
+// benchmark harness, times the Figure 7 sweep sequentially and with the
+// worker pool, and writes BENCH_lvm.json next to the current directory.
+func benchJSON() error {
+	var r benchReport
+	r.Generated = time.Now().UTC().Format(time.RFC3339)
+	r.GoVersion = runtime.Version()
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	res := testing.Benchmark(func(b *testing.B) {
+		sl, err := experiments.NewStoreLoop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sl.Warm(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sl.Step()
+		}
+	})
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	r.Throughput.NsPerStore = ns
+	r.Throughput.AllocsPerStore = res.AllocsPerOp()
+	r.Throughput.BytesPerStore = res.AllocedBytesPerOp()
+	r.Throughput.StoresPerSec = 1e9 / ns
+
+	fig7Events := *events
+	r.Fig7.Events = fig7Events
+	time7 := func(workers int) ([]experiments.Fig7Point, float64, error) {
+		old := sim.Workers()
+		sim.SetWorkers(workers)
+		defer sim.SetWorkers(old)
+		start := time.Now()
+		pts, err := experiments.Fig7(fig7Events)
+		return pts, time.Since(start).Seconds(), err
+	}
+	seqPts, seqSec, err := time7(1)
+	if err != nil {
+		return err
+	}
+	workers := sim.Workers()
+	if *parallel > 0 {
+		workers = *parallel
+	}
+	parPts, parSec, err := time7(workers)
+	if err != nil {
+		return err
+	}
+	r.Fig7.Workers = workers
+	r.Fig7.SequentialSec = seqSec
+	r.Fig7.ParallelSec = parSec
+	r.Fig7.Speedup = seqSec / parSec
+	r.Fig7.Identical = experiments.FormatFig7(seqPts) == experiments.FormatFig7(parPts)
+
+	buf, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_lvm.json", buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote BENCH_lvm.json: %.1f ns/store (%.2fM stores/sec, %d allocs/op), fig7 %dx workers %.2fx wall-clock, identical=%v\n",
+		ns, r.Throughput.StoresPerSec/1e6, r.Throughput.AllocsPerStore,
+		workers, r.Fig7.Speedup, r.Fig7.Identical)
+	return nil
+}

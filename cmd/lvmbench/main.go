@@ -18,20 +18,25 @@ import (
 	"os"
 
 	"lvm/internal/experiments"
+	"lvm/internal/sim"
 )
 
 var (
-	events = flag.Int("events", 300, "events per point for fig7/fig8")
-	iters  = flag.Int("iters", 2000, "iterations per point for fig10-12")
-	txns   = flag.Int("txns", 400, "TPC-A transactions for table3")
-	stride = flag.Int("stride", 3, "compute-cycle stride for fig11/fig12 (1 = full resolution)")
-	csv    = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+	events   = flag.Int("events", 300, "events per point for fig7/fig8")
+	iters    = flag.Int("iters", 2000, "iterations per point for fig10-12")
+	txns     = flag.Int("txns", 400, "TPC-A transactions for table3")
+	stride   = flag.Int("stride", 3, "compute-cycle stride for fig11/fig12 (1 = full resolution)")
+	csv      = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+	parallel = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential); host-side only, results are identical at any setting")
 )
 
 func main() {
 	flag.Usage = usage
 	flag.Parse()
 	experiments.OutputCSV = *csv
+	if *parallel > 0 {
+		sim.SetWorkers(*parallel)
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -71,7 +76,8 @@ Experiments (paper table/figure each regenerates):
   ablation-checkpoint   deferred copy vs Li/Appel write-protect
   extension-parallel    complete 4-scheduler optimistic runs (rollbacks included)
   extension-oodb        OODB transaction-length sweep (RLVM advantage vs txn size)
-  all                   everything above
+  bench-json            write BENCH_lvm.json (host-side simulator perf baseline)
+  all                   everything above (except bench-json)
 
 Flags:
 `)
@@ -179,6 +185,9 @@ func run(name string) error {
 		fmt.Print(experiments.FormatParallelSim(pts))
 		fmt.Println("(both savers must compute the identical checksum; LVM pays more per")
 		fmt.Println(" rollback — reset + roll-forward — but nothing per forward event)")
+	case "bench-json":
+		banner("Host-side performance baseline (BENCH_lvm.json)")
+		return benchJSON()
 	case "extension-oodb":
 		banner("Extension: object database, RLVM speedup vs transaction length (Section 4.2 prediction)")
 		pts, err := experiments.OODB(nil, *txns/8)

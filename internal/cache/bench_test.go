@@ -1,0 +1,44 @@
+package cache
+
+import (
+	"testing"
+
+	"lvm/internal/cycles"
+)
+
+// InvalidatePage runs once per dirty page during deferred-copy rollback
+// (timewarp state restoration), so its host cost scales with rollback
+// depth. The three benchmarks cover its regimes: an empty cache (the
+// early exit taken right after a context switch has flushed the L1), a
+// scan that drops nothing (lines resident but from other pages), and the
+// refill-and-drop steady state.
+
+func BenchmarkInvalidatePageEmpty(b *testing.B) {
+	c := NewL1()
+	for i := 0; i < b.N; i++ {
+		c.InvalidatePage(uint32(i%64) << 12)
+	}
+}
+
+func BenchmarkInvalidatePageScanMiss(b *testing.B) {
+	c := NewL1()
+	for off := uint32(0); off < 4096; off += cycles.LineSize {
+		c.Access(0x100000+off, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.InvalidatePage(0x200000)
+	}
+}
+
+func BenchmarkInvalidatePageDrop(b *testing.B) {
+	c := NewL1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page := uint32(i%16) << 12
+		for off := uint32(0); off < 4096; off += cycles.LineSize {
+			c.Access(page+off, true)
+		}
+		c.InvalidatePage(page)
+	}
+}

@@ -32,7 +32,8 @@ type line struct {
 
 // L1 is a direct-mapped write-back data cache with 16-byte lines.
 type L1 struct {
-	lines [cycles.L1Lines]line
+	lines      [cycles.L1Lines]line
+	validLines int
 
 	// Stats.
 	Hits       uint64
@@ -67,10 +68,39 @@ func (c *L1) Access(addr uint32, write bool) Event {
 		ev.WritebackVictim = true
 		ev.VictimAddr = (l.tag*cycles.L1Lines + uint32(idx)) << cycles.LineShift
 	}
+	if !l.valid {
+		c.validLines++
+	}
 	l.valid = true
 	l.dirty = write
 	l.tag = tag
 	return ev
+}
+
+// StoreHit performs a write-back store at addr only if it hits, reporting
+// whether it did. A miss changes nothing: the caller falls back to Access.
+// This is the hot-path probe — no Event is materialized.
+func (c *L1) StoreHit(addr uint32) bool {
+	idx, tag := split(addr)
+	l := &c.lines[idx]
+	if l.valid && l.tag == tag {
+		c.Hits++
+		l.dirty = true
+		return true
+	}
+	return false
+}
+
+// LoadHit performs a load at addr only if it hits, reporting whether it
+// did. A miss changes nothing: the caller falls back to Access.
+func (c *L1) LoadHit(addr uint32) bool {
+	idx, tag := split(addr)
+	l := &c.lines[idx]
+	if l.valid && l.tag == tag {
+		c.Hits++
+		return true
+	}
+	return false
 }
 
 // WriteNoAllocate models a write-through store: the cached copy is updated
@@ -91,19 +121,34 @@ func (c *L1) InvalidateAll() {
 	for i := range c.lines {
 		c.lines[i] = line{}
 	}
+	c.validLines = 0
 }
 
 // InvalidatePage drops every line belonging to the 4 KiB page containing
-// addr, returning how many dirty lines were discarded.
+// addr, returning how many dirty lines were discarded. One pass over the
+// tag array: a line at index idx with tag t caches line number
+// t*L1Lines+idx, which is in the page iff it falls in the page's 256-line
+// range. (With a 4 KiB direct-mapped cache, a 4 KiB page covers every
+// index exactly once, so per-index division as the old per-line loop did
+// is redundant.)
 func (c *L1) InvalidatePage(pageBase uint32) (dropped int) {
-	for off := uint32(0); off < 4096; off += cycles.LineSize {
-		idx, tag := split(pageBase + off)
+	if c.validLines == 0 {
+		return 0
+	}
+	firstLine := pageBase >> cycles.LineShift
+	lastLine := firstLine + 4096/cycles.LineSize
+	for idx := range c.lines {
 		l := &c.lines[idx]
-		if l.valid && l.tag == tag {
+		if !l.valid {
+			continue
+		}
+		lineNo := l.tag*cycles.L1Lines + uint32(idx)
+		if lineNo >= firstLine && lineNo < lastLine {
 			if l.dirty {
 				dropped++
 			}
 			l.valid = false
+			c.validLines--
 		}
 	}
 	return dropped

@@ -38,6 +38,9 @@ type LogReader struct {
 	ls  *Segment
 	off uint32
 	end uint32
+	// scratch receives the raw record bytes so that Next does not
+	// allocate per record.
+	scratch [logrec.Size]byte
 }
 
 // NewLogReader creates a reader positioned at the start of the log. It
@@ -77,7 +80,8 @@ func (r *LogReader) Next() (rec Record, ok bool) {
 	if r.off+logrec.Size > r.end {
 		return Record{}, false
 	}
-	raw := logrec.Decode(r.ls.RawRead(r.off, logrec.Size))
+	r.ls.ReadInto(r.off, r.scratch[:])
+	raw := logrec.Decode(r.scratch[:])
 	r.off += logrec.Size
 	rec = Record{Record: raw}
 	if seg, off, found := r.sys.K.ResolveLogAddr(r.ls, raw.Addr); found {

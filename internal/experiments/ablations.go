@@ -9,6 +9,7 @@ import (
 	"lvm/internal/ramdisk"
 	"lvm/internal/rlvm"
 	"lvm/internal/rvm"
+	"lvm/internal/sim"
 	"lvm/internal/tlblog"
 )
 
@@ -78,14 +79,14 @@ func LoggerModels(sweep []uint64, iterations int) []LoggerModelPoint {
 		}
 		return perWrite, ov
 	}
-	var out []LoggerModelPoint
-	for _, c := range sweep {
+	out, _ := sim.Map(len(sweep), func(i int) (LoggerModelPoint, error) {
+		c := sweep[i]
 		p := LoggerModelPoint{Compute: c}
 		p.PrototypeWrite, p.PrototypeOverloads = run(c, 0)
 		p.OnChipWrite, _ = run(c, 1)
 		p.UnloggedWrite, _ = run(c, 2)
-		out = append(out, p)
-	}
+		return p, nil
+	})
 	return out
 }
 
@@ -176,15 +177,9 @@ func Consistency(writes int) ([]ConsistencyPoint, error) {
 		pt.LVMBytes = stL.Bytes
 		return pt, nil
 	}
-	a, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	b, err := run(true)
-	if err != nil {
-		return nil, err
-	}
-	return []ConsistencyPoint{a, b}, nil
+	return sim.Map(2, func(i int) (ConsistencyPoint, error) {
+		return run(i == 1)
+	})
 }
 
 // FormatConsistency renders the comparison.
@@ -307,11 +302,14 @@ func CheckpointStyles(segPages int, dirtySweep []int) ([]CheckpointStylePoint, e
 			p.Load32(base + off)
 		}
 	}
-	var out []CheckpointStylePoint
+	var sweep []int
 	for _, dirty := range dirtySweep {
-		if dirty > segPages {
-			continue
+		if dirty <= segPages {
+			sweep = append(sweep, dirty)
 		}
+	}
+	return sim.Map(len(sweep), func(i int) (CheckpointStylePoint, error) {
+		dirty := sweep[i]
 		pt := CheckpointStylePoint{DirtyPages: dirty}
 
 		// Deferred copy.
@@ -320,13 +318,13 @@ func CheckpointStyles(segPages int, dirtySweep []int) ([]CheckpointStylePoint, e
 			src := core.NewNamedSegment(sys, "ckpt", size, nil)
 			dst := core.NewNamedSegment(sys, "work", size, nil)
 			if err := dst.SetSourceSegment(src, 0); err != nil {
-				return nil, err
+				return pt, err
 			}
 			reg := core.NewStdRegion(sys, dst)
 			as := sys.NewAddressSpace()
 			base, err := reg.Bind(as, 0)
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			p := sys.NewProcess(0, as)
 			warm(p, base)
@@ -335,7 +333,7 @@ func CheckpointStyles(segPages int, dirtySweep []int) ([]CheckpointStylePoint, e
 			// k pages, then roll back.
 			dirtyStores(p, base, dirty)
 			if _, err := sys.K.ResetDeferredCopySegment(dst, p.CPU); err != nil {
-				return nil, err
+				return pt, err
 			}
 			pt.DeferredCycles = p.Now() - start
 		}
@@ -348,25 +346,24 @@ func CheckpointStyles(segPages int, dirtySweep []int) ([]CheckpointStylePoint, e
 			as := sys.NewAddressSpace()
 			base, err := reg.Bind(as, 0)
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			p := sys.NewProcess(0, as)
 			warm(p, base)
 			wp, err := sys.K.NewWPCheckpoint(seg)
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			start := p.Now()
 			wp.Checkpoint(p.CPU) // protect every page
 			dirtyStores(p, base, dirty)
 			if err := wp.Rollback(p.CPU); err != nil {
-				return nil, err
+				return pt, err
 			}
 			pt.WriteProtCycles = p.Now() - start
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // FormatCheckpointStyles renders the comparison.
@@ -410,28 +407,27 @@ type FullStackPoint struct {
 // this exercises Region.Log, page faults, log-segment paging and the
 // kernel's fault handlers on both hardware designs.
 func FullStackOnChip(sweep []uint64, iterations int) ([]FullStackPoint, error) {
-	var out []FullStackPoint
-	for _, c := range sweep {
+	return sim.Map(len(sweep), func(i int) (FullStackPoint, error) {
+		c := sweep[i]
 		proto, err := runLoop(loopCfg{Compute: c, Writes: 1, Logged: true, Iterations: iterations})
 		if err != nil {
-			return nil, err
+			return FullStackPoint{}, err
 		}
 		chip, err := runLoop(loopCfg{Compute: c, Writes: 1, Logged: true, OnChip: true, Iterations: iterations})
 		if err != nil {
-			return nil, err
+			return FullStackPoint{}, err
 		}
 		plain, err := runLoop(loopCfg{Compute: c, Writes: 1, Logged: false, Iterations: iterations})
 		if err != nil {
-			return nil, err
+			return FullStackPoint{}, err
 		}
-		out = append(out, FullStackPoint{
+		return FullStackPoint{
 			Compute:       c,
 			PrototypeIter: proto.CyclesPerIter,
 			OnChipIter:    chip.CyclesPerIter,
 			UnloggedIter:  plain.CyclesPerIter,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FormatFullStack renders the comparison.

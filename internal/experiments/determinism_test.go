@@ -1,0 +1,70 @@
+package experiments_test
+
+import (
+	"reflect"
+	"testing"
+
+	"lvm/internal/experiments"
+	"lvm/internal/sim"
+)
+
+// The sweep engine parallelizes across independent machine instances, so
+// the number of host workers must never change a single simulated cycle:
+// every figure is denominated in simulated cycles, and a worker-dependent
+// result would silently corrupt the reproduction. These tests run the two
+// sweep shapes (Fig7: fan-out over a parameter grid via timewarp; Fig11:
+// per-point paired logged/unlogged loops) sequentially and with 8 workers
+// and require byte-identical output.
+
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := sim.Workers()
+	sim.SetWorkers(n)
+	defer sim.SetWorkers(old)
+	f()
+}
+
+func TestFig7DeterministicAcrossWorkers(t *testing.T) {
+	var seq, par []experiments.Fig7Point
+	withWorkers(t, 1, func() {
+		var err error
+		if seq, err = experiments.Fig7(40); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(t, 8, func() {
+		var err error
+		if par, err = experiments.Fig7(40); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Fig7 differs across worker counts:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if a, b := experiments.FormatFig7(seq), experiments.FormatFig7(par); a != b {
+		t.Fatalf("Fig7 rendering differs:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestFig11DeterministicAcrossWorkers(t *testing.T) {
+	sweep := []uint64{0, 15, 45}
+	var seq, par []experiments.Fig11Point
+	withWorkers(t, 1, func() {
+		var err error
+		if seq, err = experiments.Fig11(sweep, 400); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(t, 8, func() {
+		var err error
+		if par, err = experiments.Fig11(sweep, 400); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Fig11 differs across worker counts:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if a, b := experiments.FormatFig11(seq), experiments.FormatFig11(par); a != b {
+		t.Fatalf("Fig11 rendering differs:\n%s\n---\n%s", a, b)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lvm/internal/core"
+	"lvm/internal/sim"
 )
 
 // loopCfg is the Section 4.5.1 test methodology: "Run several thousand
@@ -106,27 +107,35 @@ var (
 	Fig10ComputeSweep = []uint64{0, 25, 50, 100, 200, 400, 800, 1600}
 )
 
-// Fig10 measures the grid.
+// Fig10 measures the grid, one worker-pool job per point.
 func Fig10(iterations int) ([]Fig10Point, error) {
-	var out []Fig10Point
+	type job struct {
+		Cluster int
+		Logged  bool
+		Compute uint64
+	}
+	var jobs []job
 	for _, cl := range Fig10Clusters {
 		for _, logged := range []bool{true, false} {
 			for _, c := range Fig10ComputeSweep {
-				r, err := runLoop(loopCfg{Compute: c, Writes: cl, Logged: logged, Iterations: iterations})
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, Fig10Point{
-					Cluster:        cl,
-					Compute:        c,
-					Logged:         logged,
-					CyclesPerWrite: r.CyclesPerWrite,
-					Overloads:      r.Overloads,
-				})
+				jobs = append(jobs, job{cl, logged, c})
 			}
 		}
 	}
-	return out, nil
+	return sim.Map(len(jobs), func(i int) (Fig10Point, error) {
+		j := jobs[i]
+		r, err := runLoop(loopCfg{Compute: j.Compute, Writes: j.Cluster, Logged: j.Logged, Iterations: iterations})
+		if err != nil {
+			return Fig10Point{}, err
+		}
+		return Fig10Point{
+			Cluster:        j.Cluster,
+			Compute:        j.Compute,
+			Logged:         j.Logged,
+			CyclesPerWrite: r.CyclesPerWrite,
+			Overloads:      r.Overloads,
+		}, nil
+	})
 }
 
 // FormatFig10 renders one block per cluster size.
@@ -176,26 +185,26 @@ func Fig11ComputeSweep(stride int) []uint64 {
 }
 
 // Fig11 measures the sweep ("a series of tests with c = [0...63], w = 0,
-// and l = 1").
+// and l = 1"). Each compute value is one worker-pool job running its
+// logged and unlogged loops on separate machine instances.
 func Fig11(sweep []uint64, iterations int) ([]Fig11Point, error) {
-	var out []Fig11Point
-	for _, c := range sweep {
+	return sim.Map(len(sweep), func(i int) (Fig11Point, error) {
+		c := sweep[i]
 		lg, err := runLoop(loopCfg{Compute: c, Writes: 1, Logged: true, Iterations: iterations})
 		if err != nil {
-			return nil, err
+			return Fig11Point{}, err
 		}
 		pl, err := runLoop(loopCfg{Compute: c, Writes: 1, Logged: false, Iterations: iterations})
 		if err != nil {
-			return nil, err
+			return Fig11Point{}, err
 		}
-		out = append(out, Fig11Point{
+		return Fig11Point{
 			Compute:          c,
 			LoggedCyclesIter: lg.CyclesPerIter,
 			PlainCyclesIter:  pl.CyclesPerIter,
 			OverloadsPer1000: 1000 * float64(lg.Overloads) / float64(iterations),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FormatFig11 renders the total-cost curves (Figure 11).

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"lvm/internal/sim"
 	"lvm/internal/timewarp"
 )
 
@@ -30,25 +31,34 @@ var Fig7ComputeSweep = []uint64{64, 128, 256, 512, 1024, 2048, 4096, 8192}
 
 // Fig7 measures every curve point. events sets the measurement length
 // per point (paper: "several thousand"; a few hundred is converged here
-// because the simulator is deterministic).
+// because the simulator is deterministic). Points run on the sim worker
+// pool, one machine instance per point.
 func Fig7(events int) ([]Fig7Point, error) {
-	var out []Fig7Point
+	type job struct {
+		W int
+		S uint32
+		C uint64
+	}
+	var jobs []job
 	for _, curve := range Fig7Curves {
 		for _, c := range Fig7ComputeSweep {
-			sp, _, lv, err := timewarp.Speedup(c, curve.S, curve.W, events)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig7Point{
-				Writes:      curve.W,
-				ObjectBytes: curve.S,
-				Compute:     c,
-				Speedup:     sp,
-				LVMOverload: lv.Overloads,
-			})
+			jobs = append(jobs, job{curve.W, curve.S, c})
 		}
 	}
-	return out, nil
+	return sim.Map(len(jobs), func(i int) (Fig7Point, error) {
+		j := jobs[i]
+		sp, _, lv, err := timewarp.Speedup(j.C, j.S, j.W, events)
+		if err != nil {
+			return Fig7Point{}, err
+		}
+		return Fig7Point{
+			Writes:      j.W,
+			ObjectBytes: j.S,
+			Compute:     j.C,
+			Speedup:     sp,
+			LVMOverload: lv.Overloads,
+		}, nil
+	})
 }
 
 // FormatFig7 renders one row per compute value, one column per curve.
@@ -97,9 +107,15 @@ var Fig8Curves = []struct {
 // Fig8Fractions is the fraction-written axis.
 var Fig8Fractions = []float64{0.125, 0.25, 0.5, 0.75, 1.0}
 
-// Fig8 measures every curve point.
+// Fig8 measures every curve point on the sim worker pool.
 func Fig8(events int) ([]Fig8Point, error) {
-	var out []Fig8Point
+	type job struct {
+		S    uint32
+		C    uint64
+		Frac float64
+		W    int
+	}
+	var jobs []job
 	for _, curve := range Fig8Curves {
 		words := int(curve.S / 4)
 		for _, frac := range Fig8Fractions {
@@ -107,20 +123,23 @@ func Fig8(events int) ([]Fig8Point, error) {
 			if w < 1 {
 				w = 1
 			}
-			sp, _, _, err := timewarp.Speedup(curve.C, curve.S, w, events)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig8Point{
-				ObjectBytes: curve.S,
-				Compute:     curve.C,
-				Fraction:    frac,
-				Writes:      w,
-				Speedup:     sp,
-			})
+			jobs = append(jobs, job{curve.S, curve.C, frac, w})
 		}
 	}
-	return out, nil
+	return sim.Map(len(jobs), func(i int) (Fig8Point, error) {
+		j := jobs[i]
+		sp, _, _, err := timewarp.Speedup(j.C, j.S, j.W, events)
+		if err != nil {
+			return Fig8Point{}, err
+		}
+		return Fig8Point{
+			ObjectBytes: j.S,
+			Compute:     j.C,
+			Fraction:    j.Frac,
+			Writes:      j.W,
+			Speedup:     sp,
+		}, nil
+	})
 }
 
 // FormatFig8 renders one row per fraction, one column per curve.

@@ -5,6 +5,7 @@ import (
 	"lvm/internal/cycles"
 	"lvm/internal/oodb"
 	"lvm/internal/ramdisk"
+	"lvm/internal/sim"
 )
 
 // OODBPoint is one transaction-length measurement of the object-database
@@ -23,35 +24,35 @@ type OODBPoint struct {
 // OODBTxnLengths is the default sweep of objects touched per transaction.
 var OODBTxnLengths = []int{1, 2, 4, 8, 16, 32}
 
-// OODB runs the transaction-length sweep over both engines.
+// OODB runs the transaction-length sweep over both engines, one
+// worker-pool job per transaction length.
 func OODB(lengths []int, txns int) ([]OODBPoint, error) {
 	if len(lengths) == 0 {
 		lengths = OODBTxnLengths
 	}
 	cfg := oodb.DefaultConfig()
-	w := oodb.Workload{
-		Objects:          256,
-		UpdatesPerObject: 3,
-		ThinkCycles:      300,
-	}
-	var out []OODBPoint
-	for _, l := range lengths {
-		w.TouchesPerTxn = l
-		pt := OODBPoint{TouchesPerTxn: l}
+	return sim.Map(len(lengths), func(i int) (OODBPoint, error) {
+		w := oodb.Workload{
+			Objects:          256,
+			UpdatesPerObject: 3,
+			ThinkCycles:      300,
+			TouchesPerTxn:    lengths[i],
+		}
+		pt := OODBPoint{TouchesPerTxn: lengths[i]}
 
 		{
 			sys := core.NewSystemNoLogger(core.Config{NumCPUs: 1, MemFrames: 16 << 8})
 			p := sys.NewProcess(0, sys.NewAddressSpace())
 			s, err := oodb.OpenRVM(sys, p, cfg, ramdisk.New())
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			if err := w.SeedStore(s); err != nil {
-				return nil, err
+				return pt, err
 			}
 			elapsed, err := w.Run(s, p, txns)
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			pt.RVMTPS = cycles.CyclesPerSecond * float64(txns) / float64(elapsed)
 		}
@@ -60,21 +61,20 @@ func OODB(lengths []int, txns int) ([]OODBPoint, error) {
 			p := sys.NewProcess(0, sys.NewAddressSpace())
 			s, err := oodb.OpenRLVM(sys, p, cfg, ramdisk.New())
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			if err := w.SeedStore(s); err != nil {
-				return nil, err
+				return pt, err
 			}
 			elapsed, err := w.Run(s, p, txns)
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			pt.RLVMTPS = cycles.CyclesPerSecond * float64(txns) / float64(elapsed)
 		}
 		pt.Speedup = pt.RLVMTPS / pt.RVMTPS
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // FormatOODB renders the sweep.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"lvm/internal/sim"
 	"lvm/internal/timewarp"
 )
 
@@ -75,22 +76,25 @@ func ParallelSim(scheds int, horizon timewarp.VT, events bool) ([]ParallelSimRes
 			Checksum:   sum,
 		}, nil
 	}
-	lv, err := run(timewarp.SaverLVM, false)
+	variants := []struct {
+		saver timewarp.SaverKind
+		lazy  bool
+	}{
+		{timewarp.SaverLVM, false},
+		{timewarp.SaverLVM, true},
+		{timewarp.SaverCopy, false},
+	}
+	out, err := sim.Map(len(variants), func(i int) (ParallelSimResult, error) {
+		return run(variants[i].saver, variants[i].lazy)
+	})
 	if err != nil {
 		return nil, err
 	}
-	lz, err := run(timewarp.SaverLVM, true)
-	if err != nil {
-		return nil, err
-	}
-	cp, err := run(timewarp.SaverCopy, false)
-	if err != nil {
-		return nil, err
-	}
+	lv, lz, cp := out[0], out[1], out[2]
 	if lv.Checksum != cp.Checksum || lv.Checksum != lz.Checksum {
 		return nil, fmt.Errorf("experiments: runs disagree: %08x / %08x / %08x", lv.Checksum, lz.Checksum, cp.Checksum)
 	}
-	return []ParallelSimResult{lv, lz, cp}, nil
+	return out, nil
 }
 
 // FormatParallelSim renders the comparison.

@@ -112,9 +112,12 @@ type Logger struct {
 	logTable []LogTableEntry
 
 	// fifo is the combined occupancy of the write FIFO and log-record
-	// FIFO (entries not yet DMAed).
+	// FIFO (entries not yet DMAed): a fixed-capacity ring, like the
+	// hardware's 819-entry FIFO chips — steady-state pushes and pops
+	// never allocate.
 	fifo     []machine.LoggedWrite
 	fifoHead int
+	fifoLen  int
 
 	// freeAt is when the logger engine finishes its current service.
 	freeAt uint64
@@ -147,13 +150,14 @@ func New(b *bus.Bus, mem *phys.Memory) *Logger {
 		mem:       mem,
 		pmt:       make([]PMTEntry, pmtEntries),
 		logTable:  make([]LogTableEntry, 256),
+		fifo:      make([]machine.LoggedWrite, cycles.LoggerFIFOEntries),
 		Capacity:  cycles.LoggerFIFOEntries,
 		Threshold: cycles.LoggerOverloadThreshold,
 	}
 }
 
 // Pending reports the current combined FIFO occupancy.
-func (l *Logger) Pending() int { return len(l.fifo) - l.fifoHead }
+func (l *Logger) Pending() int { return l.fifoLen }
 
 // FreeAt reports when the logger engine is next idle.
 func (l *Logger) FreeAt() uint64 { return l.freeAt }
@@ -246,26 +250,43 @@ func (l *Logger) DrainAll() uint64 {
 }
 
 func (l *Logger) push(w machine.LoggedWrite) {
-	if l.Pending() >= l.Capacity {
+	if l.fifoLen >= l.Capacity {
 		// Cannot happen with threshold < capacity, but never lose the
 		// accounting if an experiment disables overloads.
 		l.RecordsLost++
 		return
 	}
-	l.fifo = append(l.fifo, w)
+	if l.fifoLen == 0 {
+		// Empty ring: rewind so the common drained-between-stores case
+		// keeps reusing the same few slots instead of streaming through
+		// the whole ring (which evicts it from the host's L1).
+		l.fifoHead = 0
+	} else if l.fifoLen == len(l.fifo) {
+		// Capacity was raised past the ring's allocation (experiments
+		// resize the FIFO after New): re-linearize into a larger ring,
+		// once per resize.
+		grown := make([]machine.LoggedWrite, l.Capacity)
+		for i := 0; i < l.fifoLen; i++ {
+			grown[i] = l.fifo[(l.fifoHead+i)%len(l.fifo)]
+		}
+		l.fifo = grown
+		l.fifoHead = 0
+	}
+	idx := l.fifoHead + l.fifoLen
+	if idx >= len(l.fifo) {
+		idx -= len(l.fifo)
+	}
+	l.fifo[idx] = w
+	l.fifoLen++
 }
 
 func (l *Logger) pop() machine.LoggedWrite {
 	w := l.fifo[l.fifoHead]
 	l.fifoHead++
-	if l.fifoHead >= 4096 && l.fifoHead == len(l.fifo) {
-		l.fifo = l.fifo[:0]
-		l.fifoHead = 0
-	} else if l.fifoHead >= 8192 {
-		n := copy(l.fifo, l.fifo[l.fifoHead:])
-		l.fifo = l.fifo[:n]
+	if l.fifoHead == len(l.fifo) {
 		l.fifoHead = 0
 	}
+	l.fifoLen--
 	return w
 }
 
@@ -331,7 +352,7 @@ func (l *Logger) serviceOne() {
 		}
 		var buf [logrec.Size]byte
 		rec.Encode(buf[:])
-		l.mem.Write(lt.Addr, buf[:])
+		l.mem.WriteBlock16(lt.Addr, &buf)
 		lt.Addr += logrec.Size
 		if lt.Addr&phys.PageMask == 0 {
 			lt.Valid = false

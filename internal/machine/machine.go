@@ -166,8 +166,13 @@ func (c *CPU) WordWrite(paddr phys.Addr, vaddr uint32, value uint32, size uint16
 		}
 		return
 	}
-	ev := c.D1.Access(paddr, true)
-	c.chargeL1(ev)
+	// Fast path: a write-back hit costs exactly one cycle and touches no
+	// bus, so skip the event plumbing entirely.
+	if c.D1.StoreHit(paddr) {
+		c.Now += cycles.L1HitCycles
+	} else {
+		c.chargeL1(c.D1.Access(paddr, true))
+	}
 	if logged && c.m.Log != nil {
 		// Write-back logged writes exist only with on-chip logging
 		// support (Section 4.6): the CPU itself emits the record, so no
@@ -185,8 +190,11 @@ func (c *CPU) WordWrite(paddr phys.Addr, vaddr uint32, value uint32, size uint16
 // WordRead performs one data read at paddr, charging L1/L2 costs.
 func (c *CPU) WordRead(paddr phys.Addr) {
 	c.Loads++
-	ev := c.D1.Access(paddr, false)
-	c.chargeL1(ev)
+	if c.D1.LoadHit(paddr) {
+		c.Now += cycles.L1HitCycles
+		return
+	}
+	c.chargeL1(c.D1.Access(paddr, false))
 }
 
 func (c *CPU) chargeL1(ev cache.Event) {

@@ -127,6 +127,19 @@ func (m *Memory) Write(addr Addr, src []byte) {
 	}
 }
 
+// WriteBlock16 writes one 16-byte block at addr: the DMA unit of a log
+// record. The fixed size compiles to straight-line stores, so the
+// logger's per-record write avoids a memmove call.
+func (m *Memory) WriteBlock16(addr Addr, src *[16]byte) {
+	off := addr & PageMask
+	if off+16 <= PageSize {
+		f := m.Frame(PPN(addr))
+		*(*[16]byte)(f[off:]) = *src
+		return
+	}
+	m.Write(addr, src[:])
+}
+
 // Read32 reads a 32-bit little-endian word at addr.
 func (m *Memory) Read32(addr Addr) uint32 {
 	f := m.Frame(PPN(addr))

@@ -62,8 +62,12 @@ type Logger struct {
 	// WriteBuffer is the stall threshold (entries buffered on chip).
 	WriteBuffer int
 
+	// fifo is a ring: Snoop drains back down to WriteBuffer entries, so
+	// occupancy never exceeds WriteBuffer+1 and steady-state pushes do
+	// not allocate.
 	fifo     []machine.LoggedWrite
 	fifoHead int
+	fifoLen  int
 	freeAt   uint64
 
 	// Stats.
@@ -79,6 +83,7 @@ func New(b *bus.Bus, mem *phys.Memory) *Logger {
 		mem:         mem,
 		tlb:         make(map[uint32]uint16),
 		desc:        make([]Descriptor, 64),
+		fifo:        make([]machine.LoggedWrite, DefaultWriteBuffer+1),
 		WriteBuffer: DefaultWriteBuffer,
 	}
 }
@@ -102,12 +107,41 @@ func (l *Logger) Descriptor(logIndex uint16) Descriptor { return l.desc[logIndex
 // (after OnFull declines).
 func (l *Logger) Invalidate(logIndex uint16) { l.desc[logIndex] = Descriptor{} }
 
-func (l *Logger) pending() int { return len(l.fifo) - l.fifoHead }
+func (l *Logger) pending() int { return l.fifoLen }
+
+func (l *Logger) push(w machine.LoggedWrite) {
+	if l.fifoLen == 0 {
+		// Empty ring: rewind to keep the drained steady state in the
+		// same host cache lines.
+		l.fifoHead = 0
+	} else if l.fifoLen == len(l.fifo) {
+		// WriteBuffer was raised after New: grow the ring once.
+		n := 2 * len(l.fifo)
+		if n < l.WriteBuffer+1 {
+			n = l.WriteBuffer + 1
+		}
+		if n == 0 {
+			n = 1
+		}
+		grown := make([]machine.LoggedWrite, n)
+		for i := 0; i < l.fifoLen; i++ {
+			grown[i] = l.fifo[(l.fifoHead+i)%len(l.fifo)]
+		}
+		l.fifo = grown
+		l.fifoHead = 0
+	}
+	idx := l.fifoHead + l.fifoLen
+	if idx >= len(l.fifo) {
+		idx -= len(l.fifo)
+	}
+	l.fifo[idx] = w
+	l.fifoLen++
+}
 
 // Snoop accepts a logged write. If the on-chip write buffer is full the
 // CPU stalls until the oldest buffered record drains.
 func (l *Logger) Snoop(w machine.LoggedWrite) (stallUntil uint64) {
-	l.fifo = append(l.fifo, w)
+	l.push(w)
 	stall := w.Time
 	for l.pending() > l.WriteBuffer {
 		l.serviceOne()
@@ -147,9 +181,9 @@ func (l *Logger) serviceOne() {
 	e := l.fifo[l.fifoHead]
 	l.fifoHead++
 	if l.fifoHead == len(l.fifo) {
-		l.fifo = l.fifo[:0]
 		l.fifoHead = 0
 	}
+	l.fifoLen--
 	start := l.freeAt
 	if e.Time > start {
 		start = e.Time
@@ -190,7 +224,7 @@ func (l *Logger) serviceOne() {
 	}
 	var buf [logrec.Size]byte
 	rec.Encode(buf[:])
-	l.mem.Write(d.Addr, buf[:])
+	l.mem.WriteBlock16(d.Addr, &buf)
 	d.Addr += logrec.Size
 	l.RecordsWritten++
 	l.freeAt = complete

@@ -1,0 +1,68 @@
+package vm
+
+import (
+	"testing"
+
+	"lvm/internal/machine"
+)
+
+// BenchmarkContextSwitchReset measures the host cost of the rollback
+// sequence timewarp state restoration performs: dirty a deferred-copy
+// region, context-switch (which flushes the L1), then reset the region —
+// so every per-page InvalidatePage call inside ResetDeferredCopy takes
+// the empty-cache early exit.
+func BenchmarkContextSwitchReset(b *testing.B) {
+	k := NewKernel(machine.Config{NumCPUs: 1, MemFrames: 2048})
+	src := k.NewSegment("src", 8*PageSize, nil)
+	dst := k.NewSegment("dst", 8*PageSize, nil)
+	if err := dst.SetSourceSegment(src, 0); err != nil {
+		b.Fatal(err)
+	}
+	r := k.NewRegion(dst)
+	as := k.NewAddressSpace()
+	base, err := r.Bind(as, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := k.NewProcess(0, as)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pg := uint32(0); pg < 8; pg++ {
+			p.Store32(base+pg*PageSize, uint32(i))
+		}
+		if err := k.ContextSwitch(p, as); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := as.ResetDeferredCopy(base, base+8*PageSize, p.CPU); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResetDeferredCopyWarm is the same rollback without the
+// intervening context switch: the dirtied lines are still cached, so each
+// InvalidatePage must scan the tag array and drop them.
+func BenchmarkResetDeferredCopyWarm(b *testing.B) {
+	k := NewKernel(machine.Config{NumCPUs: 1, MemFrames: 2048})
+	src := k.NewSegment("src", 8*PageSize, nil)
+	dst := k.NewSegment("dst", 8*PageSize, nil)
+	if err := dst.SetSourceSegment(src, 0); err != nil {
+		b.Fatal(err)
+	}
+	r := k.NewRegion(dst)
+	as := k.NewAddressSpace()
+	base, err := r.Bind(as, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := k.NewProcess(0, as)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pg := uint32(0); pg < 8; pg++ {
+			p.Store32(base+pg*PageSize, uint32(i))
+		}
+		if _, err := as.ResetDeferredCopy(base, base+8*PageSize, p.CPU); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -452,6 +452,12 @@ func (s *Segment) RawRead(off, n uint32) []byte {
 	return b
 }
 
+// ReadInto copies len(dst) bytes at off into dst: RawRead without the
+// allocation, for callers with a reusable buffer (no cycles charged).
+func (s *Segment) ReadInto(off uint32, dst []byte) {
+	s.readInto(off, dst)
+}
+
 // RawWrite stores b at off without charging cycles (tool/test backdoor;
 // also used by checkpoint roll-forward performed by a separate process,
 // whose cost the caller accounts explicitly).
