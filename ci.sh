@@ -1,9 +1,19 @@
 #!/bin/sh
-# Tier-1 gate: build, vet, and the full test suite under the race
-# detector (the sweep engine runs experiment points on a worker pool, so
-# every run exercises the concurrent path). Run from the repository root.
+# Tier-1 gate: formatting, build, vet, and the full test suite under the
+# race detector (the sweep engine runs experiment points on a worker
+# pool, so every run exercises the concurrent path). -count=1 defeats
+# the test cache so CI always runs the suite for real. Run from the
+# repository root; .github/workflows/ci.yml calls this script.
 set -eux
 
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
+go build -tags lvm_notrace ./...
 go vet ./...
-go test -race ./...
+go test -race -count=1 ./...

@@ -1,0 +1,110 @@
+// Command benchgate compares a candidate BENCH_lvm.json against the
+// committed baseline and exits non-zero when the logged-store hot path
+// regressed: ns/store more than -tolerance above baseline, or any
+// allocation per store. CI runs it after regenerating the candidate with
+// `lvmbench bench-json`; scripts/benchgate.sh is the wrapper.
+//
+// Usage:
+//
+//	benchgate [-tolerance 0.10] baseline.json candidate.json
+//
+// Parsing is deliberately tolerant: only the throughput section is read,
+// so baselines written by older or newer schema revisions still gate as
+// long as that section is present.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// gateInput is the subset of the BENCH_lvm.json schema the gate needs.
+// Extra fields in either file are ignored; missing ones are errors.
+type gateInput struct {
+	Throughput struct {
+		NsPerStore     *float64 `json:"ns_per_store"`
+		AllocsPerStore *int64   `json:"allocs_per_store"`
+	} `json:"logged_store_throughput"`
+	Counters map[string]uint64 `json:"counters"`
+}
+
+func load(path string) (*gateInput, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var in gateInput
+	if err := json.Unmarshal(buf, &in); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if in.Throughput.NsPerStore == nil || in.Throughput.AllocsPerStore == nil {
+		return nil, fmt.Errorf("%s: missing logged_store_throughput.ns_per_store/allocs_per_store", path)
+	}
+	if *in.Throughput.NsPerStore <= 0 {
+		return nil, fmt.Errorf("%s: non-positive ns_per_store %g", path, *in.Throughput.NsPerStore)
+	}
+	return &in, nil
+}
+
+// gate returns the human-readable verdict lines and whether the candidate
+// passes against the baseline at the given relative tolerance.
+func gate(base, cand *gateInput, tolerance float64) (lines []string, ok bool) {
+	ok = true
+	bNs, cNs := *base.Throughput.NsPerStore, *cand.Throughput.NsPerStore
+	ratio := cNs / bNs
+	verdict := "ok"
+	if ratio > 1+tolerance {
+		verdict = fmt.Sprintf("FAIL (> +%.0f%%)", 100*tolerance)
+		ok = false
+	}
+	lines = append(lines, fmt.Sprintf("ns/store: baseline %.2f candidate %.2f (%+.1f%%) %s",
+		bNs, cNs, 100*(ratio-1), verdict))
+
+	allocs := *cand.Throughput.AllocsPerStore
+	verdict = "ok"
+	if allocs > 0 {
+		verdict = "FAIL (hot path must not allocate)"
+		ok = false
+	}
+	lines = append(lines, fmt.Sprintf("allocs/store: candidate %d %s", allocs, verdict))
+
+	// The candidate must prove instrumentation was live while it hit the
+	// number above; an empty counter snapshot means the metrics layer was
+	// compiled out or unwired. Baselines from before the counters field
+	// existed are exempt from the comparison, not from the presence check.
+	if len(cand.Counters) == 0 {
+		lines = append(lines, "counters: candidate snapshot empty FAIL (metrics unwired?)")
+		ok = false
+	} else {
+		lines = append(lines, fmt.Sprintf("counters: %d non-zero ok", len(cand.Counters)))
+	}
+	return lines, ok
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative ns/store regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-tolerance 0.10] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	lines, ok := gate(base, cand, *tolerance)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

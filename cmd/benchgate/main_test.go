@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// report writes a BENCH_lvm.json-shaped file (including a field the gate
+// has never heard of, to pin the tolerant-parse behaviour) and loads it.
+func report(t *testing.T, ns float64, allocs int64, countersJSON string) *gateInput {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	body := fmt.Sprintf(`{
+  "generated": "2026-01-01T00:00:00Z",
+  "some_future_field": {"nested": true},
+  "logged_store_throughput": {
+    "ns_per_store": %g,
+    "allocs_per_store": %d,
+    "bytes_per_store": 0
+  }%s
+}`, ns, allocs, countersJSON)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestGatePasses(t *testing.T) {
+	base := report(t, 47.0, 0, "")
+	cand := report(t, 49.0, 0, `, "counters": {"hwlogger.snoops": 12}`)
+	lines, ok := gate(base, cand, 0.10)
+	if !ok {
+		t.Fatalf("within-tolerance candidate failed: %v", lines)
+	}
+}
+
+// TestGateFailsOnInjectedRegression is the acceptance check from the
+// issue: a 2x ns/store regression must fail the gate.
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	base := report(t, 47.0, 0, "")
+	cand := report(t, 94.0, 0, `, "counters": {"hwlogger.snoops": 12}`)
+	lines, ok := gate(base, cand, 0.10)
+	if ok {
+		t.Fatalf("2x regression passed the gate: %v", lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "FAIL") {
+		t.Fatalf("no FAIL verdict in %v", lines)
+	}
+}
+
+func TestGateFailsOnAllocation(t *testing.T) {
+	base := report(t, 47.0, 0, "")
+	cand := report(t, 47.0, 1, `, "counters": {"hwlogger.snoops": 12}`)
+	if _, ok := gate(base, cand, 0.10); ok {
+		t.Fatalf("allocating candidate passed the gate")
+	}
+}
+
+func TestGateFailsOnEmptyCounters(t *testing.T) {
+	base := report(t, 47.0, 0, "")
+	cand := report(t, 47.0, 0, "")
+	if _, ok := gate(base, cand, 0.10); ok {
+		t.Fatalf("counter-less candidate passed the gate")
+	}
+}
+
+func TestLoadRejectsMissingSection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"generated": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil {
+		t.Fatalf("load accepted a file without a throughput section")
+	}
+}

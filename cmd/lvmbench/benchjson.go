@@ -35,6 +35,11 @@ type benchReport struct {
 		Speedup       float64 `json:"speedup"`
 		Identical     bool    `json:"output_identical"`
 	} `json:"fig7_sweep_wallclock"`
+
+	// Counters is the non-zero metrics snapshot of the benchmarked
+	// system after the final run — proof the instrumented hot path was
+	// actually counting while hitting the ns/store number above.
+	Counters map[string]uint64 `json:"counters"`
 }
 
 // benchJSON measures the logged-store hot path with the standard Go
@@ -46,6 +51,7 @@ func benchJSON() error {
 	r.GoVersion = runtime.Version()
 	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
 
+	var lastLoop *experiments.StoreLoop
 	res := testing.Benchmark(func(b *testing.B) {
 		sl, err := experiments.NewStoreLoop()
 		if err != nil {
@@ -54,12 +60,16 @@ func benchJSON() error {
 		if err := sl.Warm(); err != nil {
 			b.Fatal(err)
 		}
+		lastLoop = sl
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			sl.Step()
 		}
 	})
+	if lastLoop != nil {
+		r.Counters = lastLoop.Sys.MetricsSnapshot().Nonzero()
+	}
 	ns := float64(res.T.Nanoseconds()) / float64(res.N)
 	r.Throughput.NsPerStore = ns
 	r.Throughput.AllocsPerStore = res.AllocsPerOp()

@@ -76,6 +76,7 @@ Experiments (paper table/figure each regenerates):
   ablation-checkpoint   deferred copy vs Li/Appel write-protect
   extension-parallel    complete 4-scheduler optimistic runs (rollbacks included)
   extension-oodb        OODB transaction-length sweep (RLVM advantage vs txn size)
+  stats                 dump the metrics counter/histogram/trace snapshot
   bench-json            write BENCH_lvm.json (host-side simulator perf baseline)
   all                   everything above (except bench-json)
 
@@ -185,6 +186,13 @@ func run(name string) error {
 		fmt.Print(experiments.FormatParallelSim(pts))
 		fmt.Println("(both savers must compute the identical checksum; LVM pays more per")
 		fmt.Println(" rollback — reset + roll-forward — but nothing per forward event)")
+	case "stats":
+		banner("Simulator counter snapshot (logged-store workload)")
+		r, err := experiments.Stats(*iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatStats(r))
 	case "bench-json":
 		banner("Host-side performance baseline (BENCH_lvm.json)")
 		return benchJSON()

@@ -39,6 +39,12 @@ type L1 struct {
 	Hits       uint64
 	Misses     uint64
 	Writebacks uint64
+	// PageSweeps counts InvalidatePage calls (deferred-copy resets sweep
+	// the destination pages out of the cache, Section 3.3).
+	PageSweeps uint64
+	// SweepDirtyDropped counts dirty lines discarded by those sweeps —
+	// the modified data a resetDeferredCopy threw away.
+	SweepDirtyDropped uint64
 }
 
 // NewL1 creates an empty cache.
@@ -132,6 +138,7 @@ func (c *L1) InvalidateAll() {
 // index exactly once, so per-index division as the old per-line loop did
 // is redundant.)
 func (c *L1) InvalidatePage(pageBase uint32) (dropped int) {
+	c.PageSweeps++
 	if c.validLines == 0 {
 		return 0
 	}
@@ -151,5 +158,6 @@ func (c *L1) InvalidatePage(pageBase uint32) (dropped int) {
 			c.validLines--
 		}
 	}
+	c.SweepDirtyDropped += uint64(dropped)
 	return dropped
 }

@@ -21,6 +21,7 @@ package core
 import (
 	"lvm/internal/hwlogger"
 	"lvm/internal/machine"
+	"lvm/internal/metrics"
 	"lvm/internal/vm"
 )
 
@@ -91,6 +92,19 @@ func NewSystemOnChip(cfg Config) *System {
 
 // Machine exposes the underlying simulated machine.
 func (s *System) Machine() *machine.Machine { return s.K.M }
+
+// Metrics exposes the machine's counter/histogram registry.
+func (s *System) Metrics() *metrics.Registry { return s.K.M.Metrics }
+
+// MetricsSnapshot aggregates the machine's counters, histograms and
+// collected component stats. Take it between simulation steps (the
+// simulated machine is single-threaded, so any caller-visible moment is
+// quiescent).
+func (s *System) MetricsSnapshot() *metrics.Snapshot { return s.K.M.Metrics.Snapshot() }
+
+// Trace exposes the machine's control-plane event tracer (disabled until
+// Tracer.Enable is called; a no-op under the lvm_notrace build tag).
+func (s *System) Trace() *metrics.Tracer { return s.K.M.Metrics.Tracer() }
 
 // NewAddressSpace creates an empty address space.
 func (s *System) NewAddressSpace() *AddressSpace { return s.K.NewAddressSpace() }

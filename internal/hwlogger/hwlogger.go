@@ -28,6 +28,7 @@ import (
 	"lvm/internal/cycles"
 	"lvm/internal/logrec"
 	"lvm/internal/machine"
+	"lvm/internal/metrics"
 	"lvm/internal/phys"
 )
 
@@ -141,6 +142,13 @@ type Logger struct {
 	Overloads      uint64
 	Faults         uint64
 	StallCycles    uint64
+
+	// ms is the metrics shard the logger charges hardware events to; tr
+	// is the (possibly nil) event tracer. New installs a private shard so
+	// increments never need a nil check; SetMetrics rebinds both to the
+	// owning machine's registry.
+	ms *metrics.Shard
+	tr *metrics.Tracer
 }
 
 // New creates a logger attached to the given bus and memory.
@@ -153,7 +161,17 @@ func New(b *bus.Bus, mem *phys.Memory) *Logger {
 		fifo:      make([]machine.LoggedWrite, cycles.LoggerFIFOEntries),
 		Capacity:  cycles.LoggerFIFOEntries,
 		Threshold: cycles.LoggerOverloadThreshold,
+		ms:        metrics.New(1).Shard(0),
 	}
+}
+
+// SetMetrics points the logger's hardware-event counters at sh (typically
+// the machine's device shard) and its trace emissions at tr (may be nil).
+func (l *Logger) SetMetrics(sh *metrics.Shard, tr *metrics.Tracer) {
+	if sh != nil {
+		l.ms = sh
+	}
+	l.tr = tr
 }
 
 // Pending reports the current combined FIFO occupancy.
@@ -212,13 +230,22 @@ func (l *Logger) NumLogs() int { return len(l.logTable) }
 // models that by returning the resume cycle.
 func (l *Logger) Snoop(w machine.LoggedWrite) (stallUntil uint64) {
 	l.push(w)
+	l.ms.Inc(metrics.HWSnoops)
+	l.ms.Observe(metrics.HistFIFODepth, uint64(l.fifoLen))
+	l.ms.SetMax(metrics.HWFIFOHighWater, uint64(l.fifoLen))
 	if l.Pending() >= l.Threshold {
 		l.Overloads++
+		l.ms.Inc(metrics.HWOverloads)
 		drained := l.DrainAll()
+		resume := drained + cycles.OverloadKernelCycles
 		if l.OnOverload != nil {
-			return l.OnOverload(drained)
+			resume = l.OnOverload(drained)
 		}
-		return drained + cycles.OverloadKernelCycles
+		if resume > w.Time {
+			l.ms.Add(metrics.HWOverloadDrainCycles, resume-w.Time)
+		}
+		l.tr.Emit(w.Time, metrics.EvOverload, int(w.CPU), drained, resume)
+		return resume
 	}
 	return w.Time
 }
@@ -253,7 +280,7 @@ func (l *Logger) push(w machine.LoggedWrite) {
 	if l.fifoLen >= l.Capacity {
 		// Cannot happen with threshold < capacity, but never lose the
 		// accounting if an experiment disables overloads.
-		l.RecordsLost++
+		l.recordLost()
 		return
 	}
 	if l.fifoLen == 0 {
@@ -303,15 +330,17 @@ func (l *Logger) serviceOne() {
 	logIndex, ok := l.LookupPMT(ppn)
 	if !ok {
 		l.Faults++
+		l.ms.Inc(metrics.HWLoggingFaultsPMT)
+		l.tr.Emit(start, metrics.EvLoggingFault, int(e.CPU), uint64(FaultMissingPMT), uint64(ppn))
 		start += cycles.LoggingFaultCycles
 		if l.OnFault == nil || !l.OnFault(l, Fault{Kind: FaultMissingPMT, PPN: ppn, Write: e}) {
-			l.RecordsLost++
+			l.recordLost()
 			l.freeAt = start
 			return
 		}
 		logIndex, ok = l.LookupPMT(ppn)
 		if !ok {
-			l.RecordsLost++
+			l.recordLost()
 			l.freeAt = start
 			return
 		}
@@ -319,15 +348,17 @@ func (l *Logger) serviceOne() {
 	lt := &l.logTable[logIndex]
 	if !lt.Valid {
 		l.Faults++
+		l.ms.Inc(metrics.HWLoggingFaultsLogAddr)
+		l.tr.Emit(start, metrics.EvLoggingFault, int(e.CPU), uint64(FaultInvalidLogAddr), uint64(ppn))
 		start += cycles.LoggingFaultCycles
 		if l.OnFault == nil || !l.OnFault(l, Fault{Kind: FaultInvalidLogAddr, PPN: ppn, LogIndex: logIndex, Write: e}) {
-			l.RecordsLost++
+			l.recordLost()
 			l.freeAt = start
 			return
 		}
 		lt = &l.logTable[logIndex]
 		if !lt.Valid {
-			l.RecordsLost++
+			l.recordLost()
 			l.freeAt = start
 			return
 		}
@@ -340,6 +371,7 @@ func (l *Logger) serviceOne() {
 	dmaReady := start + cycles.LoggerLookupCycles
 	grant := l.bus.Acquire(dmaReady, cycles.LogRecordDMABus)
 	complete := grant + cycles.LogRecordDMATotal
+	l.ms.Add(metrics.HWDMAWaitCycles, grant-dmaReady)
 
 	switch lt.Mode {
 	case ModeRecord:
@@ -376,5 +408,13 @@ func (l *Logger) serviceOne() {
 		}
 	}
 	l.RecordsWritten++
+	l.ms.Inc(metrics.HWRecordsDMAed)
 	l.freeAt = complete
+}
+
+// recordLost tallies a dropped record in both the legacy stats field and
+// the metrics shard.
+func (l *Logger) recordLost() {
+	l.RecordsLost++
+	l.ms.Inc(metrics.HWRecordsLost)
 }

@@ -20,9 +20,12 @@
 package machine
 
 import (
+	"strconv"
+
 	"lvm/internal/bus"
 	"lvm/internal/cache"
 	"lvm/internal/cycles"
+	"lvm/internal/metrics"
 	"lvm/internal/phys"
 )
 
@@ -78,6 +81,10 @@ type Machine struct {
 	Bus  *bus.Bus
 	Log  LogDevice // nil when no logger is attached
 	CPUs []*CPU
+
+	// Metrics is the machine's counter/histogram registry: one shard per
+	// CPU plus a final shard for bus devices (the hardware logger).
+	Metrics *metrics.Registry
 }
 
 // New creates a machine. The log device, if any, is attached afterwards by
@@ -91,13 +98,53 @@ func New(cfg Config) *Machine {
 		cfg.MemFrames = 64 << 8
 	}
 	m := &Machine{
-		Phys: phys.NewMemory(cfg.MemFrames),
-		Bus:  bus.New(),
+		Phys:    phys.NewMemory(cfg.MemFrames),
+		Bus:     bus.New(),
+		Metrics: metrics.New(cfg.NumCPUs + 1),
 	}
 	for i := 0; i < cfg.NumCPUs; i++ {
-		m.CPUs = append(m.CPUs, &CPU{ID: i, D1: cache.NewL1(), m: m})
+		m.CPUs = append(m.CPUs, &CPU{ID: i, D1: cache.NewL1(), m: m, MS: m.Metrics.Shard(i)})
 	}
+	m.Metrics.AddCollector(m.collectStats)
 	return m
+}
+
+// DeviceShard is the metrics shard bus devices (the hardware logger)
+// charge their events to.
+func (m *Machine) DeviceShard() *metrics.Shard {
+	return m.Metrics.Shard(len(m.CPUs))
+}
+
+// collectStats publishes the per-CPU and per-cache stats the components
+// already count in their own fields. Running at Snapshot time keeps the
+// hot paths free of double accounting.
+func (m *Machine) collectStats(emit func(name string, v uint64)) {
+	var compute, stall, loads, stores, hits, misses, wbacks, sweeps, dirtyDropped uint64
+	for i, c := range m.CPUs {
+		p := "machine.cpu" + strconv.Itoa(i)
+		emit(p+".compute_cycles", c.ComputeCycles)
+		emit(p+".stall_cycles", c.StallCycles)
+		emit(p+".loads", c.Loads)
+		emit(p+".stores", c.Stores)
+		compute += c.ComputeCycles
+		stall += c.StallCycles
+		loads += c.Loads
+		stores += c.Stores
+		hits += c.D1.Hits
+		misses += c.D1.Misses
+		wbacks += c.D1.Writebacks
+		sweeps += c.D1.PageSweeps
+		dirtyDropped += c.D1.SweepDirtyDropped
+	}
+	emit("machine.compute_cycles", compute)
+	emit("machine.stall_cycles", stall)
+	emit("machine.loads", loads)
+	emit("machine.stores", stores)
+	emit("cache.l1_hits", hits)
+	emit("cache.l1_misses", misses)
+	emit("cache.l1_writebacks", wbacks)
+	emit("cache.page_sweeps", sweeps)
+	emit("cache.sweep_dirty_dropped", dirtyDropped)
 }
 
 // CPU is one simulated processor with its own cycle clock and on-chip data
@@ -108,6 +155,8 @@ type CPU struct {
 	Now uint64
 	// D1 is the on-chip data cache cost model.
 	D1 *cache.L1
+	// MS is this CPU's metrics shard.
+	MS *metrics.Shard
 	m  *Machine
 
 	// Stats.
@@ -161,6 +210,7 @@ func (c *CPU) WordWrite(paddr phys.Addr, vaddr uint32, value uint32, size uint16
 				CPU: uint16(c.ID), Time: done,
 			}); stall > c.Now {
 				c.StallCycles += stall - c.Now
+				c.MS.Observe(metrics.HistStallCycles, stall-c.Now)
 				c.Now = stall
 			}
 		}
@@ -182,6 +232,7 @@ func (c *CPU) WordWrite(paddr phys.Addr, vaddr uint32, value uint32, size uint16
 			CPU: uint16(c.ID), Time: c.Now,
 		}); stall > c.Now {
 			c.StallCycles += stall - c.Now
+			c.MS.Observe(metrics.HistStallCycles, stall-c.Now)
 			c.Now = stall
 		}
 	}

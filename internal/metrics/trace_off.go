@@ -1,0 +1,8 @@
+//go:build lvm_notrace
+
+package metrics
+
+// traceBuilt is false under the lvm_notrace build tag: every Tracer.Emit
+// body is deleted by the compiler (the guard is a constant false), so
+// builds that want zero tracing overhead pay not even the branch.
+const traceBuilt = false

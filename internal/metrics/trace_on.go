@@ -1,0 +1,7 @@
+//go:build !lvm_notrace
+
+package metrics
+
+// traceBuilt is true in default builds: Tracer.Emit records events when
+// the tracer is enabled at runtime.
+const traceBuilt = true

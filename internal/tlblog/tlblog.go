@@ -28,6 +28,7 @@ import (
 	"lvm/internal/cycles"
 	"lvm/internal/logrec"
 	"lvm/internal/machine"
+	"lvm/internal/metrics"
 	"lvm/internal/phys"
 )
 
@@ -74,6 +75,11 @@ type Logger struct {
 	RecordsWritten uint64
 	RecordsLost    uint64
 	StallEvents    uint64
+
+	// ms/tr: metrics shard and (possibly nil) tracer; see
+	// hwlogger.Logger.SetMetrics for the wiring convention.
+	ms *metrics.Shard
+	tr *metrics.Tracer
 }
 
 // New creates an on-chip logger for the given bus and memory.
@@ -85,7 +91,17 @@ func New(b *bus.Bus, mem *phys.Memory) *Logger {
 		desc:        make([]Descriptor, 64),
 		fifo:        make([]machine.LoggedWrite, DefaultWriteBuffer+1),
 		WriteBuffer: DefaultWriteBuffer,
+		ms:          metrics.New(1).Shard(0),
 	}
+}
+
+// SetMetrics points the on-chip unit's counters at sh and its trace
+// emissions at tr (may be nil).
+func (l *Logger) SetMetrics(sh *metrics.Shard, tr *metrics.Tracer) {
+	if sh != nil {
+		l.ms = sh
+	}
+	l.tr = tr
 }
 
 // MapPage associates a virtual page (by its 20-bit VPN) with a log
@@ -146,9 +162,14 @@ func (l *Logger) Snoop(w machine.LoggedWrite) (stallUntil uint64) {
 	for l.pending() > l.WriteBuffer {
 		l.serviceOne()
 		l.StallEvents++
+		l.ms.Inc(metrics.ChipStallEvents)
 		if l.freeAt > stall {
 			stall = l.freeAt
 		}
+	}
+	if stall > w.Time {
+		l.ms.Add(metrics.ChipStallCycles, stall-w.Time)
+		l.tr.Emit(w.Time, metrics.EvChipStall, int(w.CPU), stall-w.Time, 0)
 	}
 	return stall
 }
@@ -191,23 +212,27 @@ func (l *Logger) serviceOne() {
 
 	idx, ok := l.tlb[e.VAddr>>phys.PageShift]
 	if !ok {
-		l.RecordsLost++
+		l.ms.Inc(metrics.ChipDescMisses)
+		l.recordLost()
 		l.freeAt = start
 		return
 	}
 	d := &l.desc[idx]
 	if !d.Valid || d.Addr+logrec.Size > d.Limit {
+		l.ms.Inc(metrics.ChipDescMisses)
 		if l.OnFull == nil || !l.OnFull(l, idx) {
-			l.RecordsLost++
+			l.recordLost()
 			l.freeAt = start
 			return
 		}
 		d = &l.desc[idx]
 		if !d.Valid || d.Addr+logrec.Size > d.Limit {
-			l.RecordsLost++
+			l.recordLost()
 			l.freeAt = start
 			return
 		}
+	} else {
+		l.ms.Inc(metrics.ChipDescHits)
 	}
 
 	// One 16-byte block write over the bus; no lookup latency (on-chip
@@ -227,5 +252,13 @@ func (l *Logger) serviceOne() {
 	l.mem.WriteBlock16(d.Addr, &buf)
 	d.Addr += logrec.Size
 	l.RecordsWritten++
+	l.ms.Inc(metrics.ChipRecordsDMAed)
 	l.freeAt = complete
+}
+
+// recordLost tallies a dropped record in both the legacy stats field and
+// the metrics shard.
+func (l *Logger) recordLost() {
+	l.RecordsLost++
+	l.ms.Inc(metrics.ChipRecordsLost)
 }

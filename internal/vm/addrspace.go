@@ -5,6 +5,7 @@ import (
 
 	"lvm/internal/cycles"
 	"lvm/internal/hwlogger"
+	"lvm/internal/metrics"
 	"lvm/internal/phys"
 )
 
@@ -268,11 +269,20 @@ func (a *AddressSpace) lookup(va Addr, cpu *machineCPU) (*pte, error) {
 // log's index.
 func (k *Kernel) pageFault(e *pte, cpu *machineCPU) error {
 	k.PageFaults++
+	k.kshard(cpu).Inc(metrics.VMPageFaults)
 	if cpu != nil {
 		cpu.Compute(cycles.PageFaultCycles)
 	}
 	if _, err := e.seg.ensureFrame(e.segPage); err != nil {
 		return err
+	}
+	if tr := k.tracer(); tr.Enabled() {
+		var now uint64
+		cpuID := -1
+		if cpu != nil {
+			now, cpuID = cpu.Now, cpu.ID
+		}
+		tr.Emit(now, metrics.EvPageFault, cpuID, uint64(e.segPage), uint64(e.seg.pages[e.segPage].frame))
 	}
 	r := e.region
 	if r != nil && r.logSeg != nil && k.Chip != nil {

@@ -5,6 +5,7 @@ import (
 
 	"lvm/internal/cycles"
 	"lvm/internal/machine"
+	"lvm/internal/metrics"
 )
 
 // ResetStats reports what a ResetDeferredCopy did.
@@ -60,7 +61,17 @@ func (a *AddressSpace) ResetDeferredCopy(start, end Addr, cpu *machine.CPU) (Res
 	if cpu != nil {
 		cpu.Compute(st.Cycles)
 	}
+	a.k.noteDeferredReset(cpu, st)
 	return st, nil
+}
+
+// noteDeferredReset publishes one reset's work to the metrics layer
+// (Figure 9's quantities: resets, dirty pages found, lines re-pointed).
+func (k *Kernel) noteDeferredReset(cpu *machineCPU, st ResetStats) {
+	sh := k.kshard(cpu)
+	sh.Inc(metrics.VMDeferredResets)
+	sh.Add(metrics.VMDeferredDirtyPages, uint64(st.DirtyPages))
+	sh.Add(metrics.VMDeferredLinesReset, uint64(st.LinesReset))
 }
 
 // ResetDeferredCopySegment resets every page of a deferred-copy
@@ -92,6 +103,7 @@ func (k *Kernel) ResetDeferredCopySegment(s *Segment, cpu *machine.CPU) (ResetSt
 		cpu.Compute(st.Cycles)
 		cpu.D1.InvalidateAll()
 	}
+	k.noteDeferredReset(cpu, st)
 	return st, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"lvm/internal/cycles"
 	"lvm/internal/hwlogger"
 	"lvm/internal/machine"
+	"lvm/internal/metrics"
 	"lvm/internal/phys"
 	"lvm/internal/tlblog"
 )
@@ -88,6 +89,7 @@ func NewKernel(cfg machine.Config) *Kernel {
 		owners: make(map[uint32]frameOwner),
 	}
 	m.Log = k.Log
+	k.Log.SetMetrics(m.DeviceShard(), m.Metrics.Tracer())
 	for i := k.Log.NumLogs() - 1; i >= 0; i-- {
 		k.freeLogIdx = append(k.freeLogIdx, uint16(i))
 	}
@@ -103,6 +105,7 @@ func NewKernel(cfg machine.Config) *Kernel {
 		k.M.StallAll(resume)
 		return resume
 	}
+	m.Metrics.AddCollector(k.collectStats)
 	return k
 }
 
@@ -111,7 +114,23 @@ func NewKernel(cfg machine.Config) *Kernel {
 func NewKernelNoLogger(cfg machine.Config) *Kernel {
 	m := machine.New(cfg)
 	k := &Kernel{M: m, owners: make(map[uint32]frameOwner)}
+	m.Metrics.AddCollector(k.collectStats)
 	return k
+}
+
+// collectStats publishes the kernel-level aggregates that live in kernel
+// and segment structs (snapshot-time collection; no hot-path cost).
+func (k *Kernel) collectStats(emit func(name string, v uint64)) {
+	var lost uint64
+	for _, s := range k.segments {
+		if s.isLog {
+			lost += s.lostRecords
+		}
+	}
+	emit("vm.log_records_lost_absorbed", lost)
+	emit("vm.segments", uint64(len(k.segments)))
+	emit("vm.address_spaces", uint64(k.addressSpaces))
+	emit("vm.kernel_overloads", k.Overloads)
 }
 
 // allocLogIndex reserves a hardware log-table slot.
@@ -134,6 +153,18 @@ func (k *Kernel) releaseLogIndex(i uint16) {
 	k.freeLogIdx = append(k.freeLogIdx, i)
 }
 
+// kshard picks the metrics shard kernel work is charged to: the faulting
+// CPU's shard when the kernel runs in a CPU's context, shard 0 otherwise.
+func (k *Kernel) kshard(cpu *machineCPU) *metrics.Shard {
+	if cpu != nil {
+		return cpu.MS
+	}
+	return k.M.Metrics.Shard(0)
+}
+
+// tracer is the machine's event tracer (never nil; disabled by default).
+func (k *Kernel) tracer() *metrics.Tracer { return k.M.Metrics.Tracer() }
+
 // ReverseTranslate maps a physical address (as found in a prototype log
 // record) back to the owning segment and byte offset within it. This is
 // the software reverse translation discussed in Section 3.1.2: the
@@ -149,6 +180,7 @@ func (k *Kernel) ReverseTranslate(paddr phys.Addr) (seg *Segment, off uint32, ok
 // handleLoggingFault is the kernel's logging-fault handler (Section 3.2).
 func (k *Kernel) handleLoggingFault(l *hwlogger.Logger, f hwlogger.Fault) bool {
 	k.LoggingFaults++
+	k.M.DeviceShard().Inc(metrics.VMLoggingFaults)
 	switch f.Kind {
 	case hwlogger.FaultMissingPMT:
 		// A displaced page-mapping entry: reload it from the frame
@@ -157,6 +189,7 @@ func (k *Kernel) handleLoggingFault(l *hwlogger.Logger, f hwlogger.Fault) bool {
 		if !found || !o.seg.logged {
 			return false
 		}
+		o.seg.loggingFaults++
 		l.LoadPMT(f.PPN, o.seg.logIndex)
 		if !l.LogHead(o.seg.logIndex).Valid {
 			return k.advanceLogHead(o.seg.logTo)
@@ -167,6 +200,7 @@ func (k *Kernel) handleLoggingFault(l *hwlogger.Logger, f hwlogger.Fault) bool {
 		// log segment's next page, or to the absorb page.
 		for _, s := range k.segments {
 			if s.isLog && s.logIdxValid && s.logIndex == f.LogIndex {
+				s.loggingFaults++
 				return k.advanceLogHead(s)
 			}
 		}
@@ -194,12 +228,16 @@ func (k *Kernel) advanceLogHead(ls *Segment) bool {
 		ls.nextPage++
 		ls.absorbing = false
 		k.Log.SetLogHead(ls.logIndex, phys.FrameBase(frame), ls.logMode)
+		k.M.DeviceShard().Inc(metrics.VMLogHeadAdvances)
+		k.tracer().Emit(k.M.MaxNow(), metrics.EvLogAdvance, -1, uint64(ls.id), uint64(ls.hwPage))
 		return true
 	}
 	// Absorb: records land in the absorb frame and are lost.
 	k.AbsorbedPages++
 	ls.absorbing = true
 	k.Log.SetLogHead(ls.logIndex, phys.FrameBase(k.absorbFrame), ls.logMode)
+	k.M.DeviceShard().Inc(metrics.VMAbsorbedPages)
+	k.tracer().Emit(k.M.MaxNow(), metrics.EvLogAbsorb, -1, uint64(ls.id), 0)
 	return true
 }
 
@@ -285,6 +323,8 @@ func (k *Kernel) RewindLog(ls *Segment, off uint32) error {
 	}
 	k.Sync()
 	ls.savedOff = off
+	k.kshard(nil).Inc(metrics.VMLogRewinds)
+	k.tracer().Emit(k.M.MaxNow(), metrics.EvLogRewind, -1, uint64(ls.id), uint64(off))
 	if !ls.logIdxValid {
 		return nil
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lvm/internal/machine"
+	"lvm/internal/metrics"
 	"lvm/internal/phys"
 	"lvm/internal/tlblog"
 )
@@ -35,6 +36,7 @@ func NewKernelOnChip(cfg machine.Config) *Kernel {
 	}
 	k.Chip = tlblog.New(m.Bus, m.Phys)
 	m.Log = k.Chip
+	k.Chip.SetMetrics(m.DeviceShard(), m.Metrics.Tracer())
 	for i := 63; i >= 0; i-- {
 		k.freeLogIdx = append(k.freeLogIdx, uint16(i))
 	}
@@ -44,6 +46,7 @@ func NewKernelOnChip(cfg machine.Config) *Kernel {
 	}
 	k.absorbFrame = f
 	k.Chip.OnFull = k.handleChipFull
+	m.Metrics.AddCollector(k.collectStats)
 	return k
 }
 
@@ -55,8 +58,10 @@ func (k *Kernel) OnChip() bool { return k.Chip != nil }
 // logging fault).
 func (k *Kernel) handleChipFull(l *tlblog.Logger, logIndex uint16) bool {
 	k.LoggingFaults++
+	k.M.DeviceShard().Inc(metrics.VMLoggingFaults)
 	for _, s := range k.segments {
 		if s.isLog && s.logIdxValid && s.logIndex == logIndex && s.started {
+			s.loggingFaults++
 			return k.advanceChipHead(s)
 		}
 	}
@@ -80,12 +85,16 @@ func (k *Kernel) advanceChipHead(ls *Segment) bool {
 		ls.absorbing = false
 		base := phys.FrameBase(frame)
 		k.Chip.SetDescriptor(ls.logIndex, base, base+PageSize)
+		k.M.DeviceShard().Inc(metrics.VMLogHeadAdvances)
+		k.tracer().Emit(k.M.MaxNow(), metrics.EvLogAdvance, -1, uint64(ls.id), uint64(ls.hwPage))
 		return true
 	}
 	k.AbsorbedPages++
 	ls.absorbing = true
 	base := phys.FrameBase(k.absorbFrame)
 	k.Chip.SetDescriptor(ls.logIndex, base, base+PageSize)
+	k.M.DeviceShard().Inc(metrics.VMAbsorbedPages)
+	k.tracer().Emit(k.M.MaxNow(), metrics.EvLogAbsorb, -1, uint64(ls.id), 0)
 	return true
 }
 

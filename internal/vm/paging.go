@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lvm/internal/cycles"
+	"lvm/internal/metrics"
 )
 
 // PageStore is an optional extension of SegmentManager: segment managers
@@ -58,6 +59,8 @@ func (k *Kernel) EvictPage(s *Segment, page uint32) error {
 	}
 	k.invalidateMappingsOf(s, page)
 	k.Evictions++
+	k.kshard(nil).Inc(metrics.VMEvictions)
+	k.tracer().Emit(k.M.MaxNow(), metrics.EvEviction, -1, uint64(s.id), uint64(page))
 	return nil
 }
 

@@ -79,7 +79,15 @@ type Segment struct {
 	lostRecords  uint64
 	started      bool   // hardware head has been initialized
 	savedOff     uint32 // append offset saved while logging is disabled
+
+	// loggingFaults counts the logging faults this segment was involved
+	// in: PMT reloads for data segments, page-crossing head advances for
+	// log segments (Section 3.2).
+	loggingFaults uint64
 }
+
+// LoggingFaultCount reports how many logging faults involved this segment.
+func (s *Segment) LoggingFaultCount() uint64 { return s.loggingFaults }
 
 // NewSegment creates a memory segment of the given size (rounded up to a
 // whole number of pages). mgr may be nil for zero-fill.

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Bench-regression gate: regenerate the host-side performance baseline
+# into a scratch file and compare it against the committed BENCH_lvm.json
+# with cmd/benchgate. Fails when ns/store regresses more than the
+# tolerance (default 10%), when the hot path allocates, or when the
+# candidate's counter snapshot is empty (metrics layer unwired).
+#
+# Usage: scripts/benchgate.sh [tolerance]
+#
+# Shared CI runners are noisy; the tolerance is relative to the committed
+# baseline, so re-commit BENCH_lvm.json (lvmbench bench-json) whenever the
+# hot path legitimately changes speed.
+set -eu
+
+tolerance="${1:-0.10}"
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+candidate=$(mktemp -d)
+trap 'rm -rf "$candidate"' EXIT
+
+# bench-json writes BENCH_lvm.json into the current directory; run it in
+# the scratch dir so the committed baseline is never touched.
+go build -o "$candidate/lvmbench" ./cmd/lvmbench
+go build -o "$candidate/benchgate" ./cmd/benchgate
+(cd "$candidate" && ./lvmbench -events 100 bench-json)
+
+"$candidate/benchgate" -tolerance "$tolerance" \
+    "$repo_root/BENCH_lvm.json" "$candidate/BENCH_lvm.json"

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Coverage gate: run the full suite with a coverage profile (uploaded as
+# a CI artifact) and enforce a 60% statement-coverage floor on
+# internal/metrics, the package this repository's observability claims
+# rest on. Other packages are profiled but not gated.
+#
+# Usage: scripts/covergate.sh [profile-out]
+set -eu
+
+profile="${1:-coverage.out}"
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+go test -count=1 -coverprofile="$profile" -coverpkg=./... ./...
+
+metrics_cov=$(go tool cover -func="$profile" |
+    awk '/^lvm\/internal\/metrics\// { sub(/%/, "", $3); sum += $3; n++ }
+         END { if (n == 0) { print "0" } else { printf "%.1f", sum / n } }')
+
+echo "internal/metrics statement coverage: ${metrics_cov}% (floor 60%)"
+if ! awk -v c="$metrics_cov" 'BEGIN { exit !(c >= 60.0) }'; then
+    echo "coverage gate FAILED: internal/metrics below 60%" >&2
+    exit 1
+fi
