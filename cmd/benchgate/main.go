@@ -14,7 +14,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +32,21 @@ type gateInput struct {
 	Counters map[string]uint64 `json:"counters"`
 }
 
+// errNoBaseline distinguishes "nothing to gate against" (file absent or
+// empty) from a malformed file. A fresh clone without a committed
+// BENCH_lvm.json should get instructions, not a JSON parse error.
+var errNoBaseline = errors.New("no baseline")
+
 func load(path string) (*gateInput, error) {
 	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%s: %w (file not found)", path, errNoBaseline)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if len(bytes.TrimSpace(buf)) == 0 {
+		return nil, fmt.Errorf("%s: %w (file is empty)", path, errNoBaseline)
 	}
 	var in gateInput
 	if err := json.Unmarshal(buf, &in); err != nil {
@@ -91,6 +104,14 @@ func main() {
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
+	if errors.Is(err, errNoBaseline) {
+		// Nothing to compare against: skip the gate rather than fail a
+		// fresh branch, but say exactly how to establish a baseline.
+		fmt.Printf("benchgate: %v\n", err)
+		fmt.Println("benchgate: no committed baseline to gate against; skipping comparison")
+		fmt.Println("benchgate: generate one with `lvmbench bench-json` and commit BENCH_lvm.json")
+		return
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -68,6 +69,42 @@ func TestGateFailsOnEmptyCounters(t *testing.T) {
 	cand := report(t, 47.0, 0, "")
 	if _, ok := gate(base, cand, 0.10); ok {
 		t.Fatalf("counter-less candidate passed the gate")
+	}
+}
+
+// TestLoadMissingBaseline pins the no-baseline contract: an absent or
+// empty file must come back as errNoBaseline (which main turns into a
+// skip with instructions), not as a raw read or JSON parse error.
+func TestLoadMissingBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := load(filepath.Join(dir, "absent.json")); !errors.Is(err, errNoBaseline) {
+		t.Fatalf("absent file: got %v, want errNoBaseline", err)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(empty); !errors.Is(err, errNoBaseline) {
+		t.Fatalf("empty file: got %v, want errNoBaseline", err)
+	}
+
+	blank := filepath.Join(dir, "blank.json")
+	if err := os.WriteFile(blank, []byte(" \n\t\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(blank); !errors.Is(err, errNoBaseline) {
+		t.Fatalf("whitespace-only file: got %v, want errNoBaseline", err)
+	}
+
+	// A malformed (but non-empty) file is still a hard error, not a skip.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(bad); err == nil || errors.Is(err, errNoBaseline) {
+		t.Fatalf("malformed file: got %v, want a parse error", err)
 	}
 }
 

@@ -27,21 +27,37 @@ var (
 	txns     = flag.Int("txns", 400, "TPC-A transactions for table3")
 	stride   = flag.Int("stride", 3, "compute-cycle stride for fig11/fig12 (1 = full resolution)")
 	csv      = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+	seeds    = flag.Int("seeds", 8, "seeds per fault template for crashtest")
+	short    = flag.Bool("short", false, "shrink the crashtest workloads (CI smoke)")
 	parallel = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential); host-side only, results are identical at any setting")
 )
 
 func main() {
 	flag.Usage = usage
 	flag.Parse()
+	// Accept flags after the experiment names too (`lvmbench crashtest
+	// -seeds 2 -short`), the way subcommand-style CLIs are invoked; the
+	// stdlib parser stops at the first non-flag argument.
+	args := flag.Args()
+	var names []string
+	for len(args) > 0 {
+		if len(args[0]) > 1 && args[0][0] == '-' {
+			flag.CommandLine.Parse(args)
+			args = flag.Args()
+			continue
+		}
+		names = append(names, args[0])
+		args = args[1:]
+	}
 	experiments.OutputCSV = *csv
 	if *parallel > 0 {
 		sim.SetWorkers(*parallel)
 	}
-	args := flag.Args()
-	if len(args) == 0 {
+	if len(names) == 0 {
 		usage()
 		os.Exit(2)
 	}
+	args = names
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{
 			"table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
@@ -78,7 +94,8 @@ Experiments (paper table/figure each regenerates):
   extension-oodb        OODB transaction-length sweep (RLVM advantage vs txn size)
   stats                 dump the metrics counter/histogram/trace snapshot
   bench-json            write BENCH_lvm.json (host-side simulator perf baseline)
-  all                   everything above (except bench-json)
+  crashtest             seeded fault-injection + crash-recovery matrix (-seeds, -short)
+  all                   everything above (except bench-json and crashtest)
 
 Flags:
 `)
@@ -196,6 +213,9 @@ func run(name string) error {
 	case "bench-json":
 		banner("Host-side performance baseline (BENCH_lvm.json)")
 		return benchJSON()
+	case "crashtest":
+		banner("Crash-recovery fault matrix (seeded, deterministic)")
+		return runCrashtest(*seeds, *short)
 	case "extension-oodb":
 		banner("Extension: object database, RLVM speedup vs transaction length (Section 4.2 prediction)")
 		pts, err := experiments.OODB(nil, *txns/8)

@@ -61,6 +61,20 @@ func (r *LogReader) Sync() {
 // Offset reports the reader's current byte offset within the log segment.
 func (r *LogReader) Offset() uint32 { return r.off }
 
+// End reports the reader's view of the log end offset.
+func (r *LogReader) End() uint32 { return r.end }
+
+// SetEnd overrides the reader's view of the log end, bounded by the
+// segment size. Crash recovery uses it to scan a log whose hardware
+// append state did not survive: the surviving bytes are authoritative,
+// not the (lost) device head.
+func (r *LogReader) SetEnd(end uint32) {
+	if max := r.ls.Size(); end > max {
+		end = max
+	}
+	r.end = end
+}
+
 // Seek positions the reader at the given byte offset (must be a multiple
 // of the record size).
 func (r *LogReader) Seek(off uint32) error {

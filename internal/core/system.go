@@ -96,6 +96,10 @@ func (s *System) Machine() *machine.Machine { return s.K.M }
 // Metrics exposes the machine's counter/histogram registry.
 func (s *System) Metrics() *metrics.Registry { return s.K.M.Metrics }
 
+// DeviceShard is the metrics shard non-CPU agents — bus devices, the
+// fault injector, the recovery manager — charge their counters to.
+func (s *System) DeviceShard() *metrics.Shard { return s.K.M.DeviceShard() }
+
 // MetricsSnapshot aggregates the machine's counters, histograms and
 // collected component stats. Take it between simulation steps (the
 // simulated machine is single-threaded, so any caller-visible moment is

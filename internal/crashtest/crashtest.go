@@ -1,0 +1,551 @@
+// Package crashtest runs a seeded matrix of fault plans (internal/fault)
+// over logged-segment and RVM/RLVM TPC-A workloads and verdicts each run
+// with the recovery manager and shadow checker (internal/recovery).
+//
+// Every plan is executed twice and the two report lines are
+// byte-compared: the whole stack — workload, injector, crash, replay,
+// verdict — must be deterministic per seed. A run passes when recovery
+// either fully reconstructs the reference state (shadow diff empty,
+// possibly modulo the one in-doubt transaction that was mid-commit at
+// the crash) or degrades gracefully: the quarantined log tail starts at
+// injected damage and every residual mismatch byte lies inside the
+// injector's ground-truth damage ranges.
+package crashtest
+
+import (
+	"fmt"
+	"io"
+
+	"lvm/internal/core"
+	"lvm/internal/fault"
+	"lvm/internal/ramdisk"
+	"lvm/internal/recovery"
+	"lvm/internal/rlvm"
+	"lvm/internal/rvm"
+	"lvm/internal/tpca"
+)
+
+// Options configures a matrix run.
+type Options struct {
+	// Seeds is the number of seeds per template (default 8).
+	Seeds int
+	// Short shrinks the workloads (CI smoke).
+	Short bool
+}
+
+// template is one row of the fault matrix.
+type template struct {
+	name     string
+	scenario string // "log", "rvm" or "rlvm"
+	// maxBatch bounds the stores per transaction of the log workload.
+	maxBatch int
+	// needsDry: the plan derives its crash cycle from a fault-free dry
+	// run of the same seeded workload.
+	needsDry bool
+	plan     func(seed uint64, dryElapsed uint64) fault.Plan
+}
+
+func templates() []template {
+	return []template{
+		{name: "log/clean", scenario: "log", maxBatch: 24,
+			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{} }},
+		{name: "log/crash-cycle", scenario: "log", maxBatch: 24, needsDry: true,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{CrashAtCycle: dry * (20 + seed*7%61) / 100}
+			}},
+		{name: "log/crash-fault", scenario: "log", maxBatch: 24,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{CrashAtFault: 1 + int(seed%4)}
+			}},
+		{name: "log/crash-overload", scenario: "log", maxBatch: 200,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{OverloadThreshold: 24, CrashAtOverload: 1 + int(seed%4)}
+			}},
+		{name: "log/drop", scenario: "log", maxBatch: 24, needsDry: true,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{DropEveryN: 61 + int(seed%7)*10, CrashAtCycle: dry * 7 / 10}
+			}},
+		{name: "log/corrupt", scenario: "log", maxBatch: 24,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{CorruptEveryN: 97 + int(seed%5)*16}
+			}},
+		{name: "log/truncate", scenario: "log", maxBatch: 24, needsDry: true,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{
+					CrashAtCycle:      dry * (60 + seed*11%30) / 100,
+					TruncateTailBytes: 24 + uint32(seed*37%400),
+				}
+			}},
+		{name: "log/storm", scenario: "log", maxBatch: 256,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{OverloadThreshold: 8}
+			}},
+		{name: "rvm/crash-diskop", scenario: "rvm",
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{CrashAtDiskOp: 17 + int(seed%40)*7}
+			}},
+		{name: "rvm/disk-transient", scenario: "rvm",
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{DiskFailEveryN: 40 + int(seed%20), DiskFailBurst: 2}
+			}},
+		{name: "rlvm/crash-cycle", scenario: "rlvm", needsDry: true,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{CrashAtCycle: dry * (20 + seed*7%61) / 100}
+			}},
+		{name: "rlvm/crash-overload", scenario: "rlvm",
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{OverloadThreshold: 3 + int(seed%3), CrashAtOverload: 2 + int(seed%6)}
+			}},
+		{name: "rlvm/disk-transient", scenario: "rlvm",
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{DiskFailEveryN: 40 + int(seed%20), DiskFailBurst: 2}
+			}},
+	}
+}
+
+// Run executes the matrix and writes one deterministic line per plan
+// (plus a summary). ok is true when every plan passed and every plan's
+// two executions produced byte-identical lines.
+func Run(opts Options, w io.Writer) (bool, error) {
+	if opts.Seeds <= 0 {
+		opts.Seeds = 8
+	}
+	ts := templates()
+	plans, passed, failed, nondet := 0, 0, 0, 0
+	for ti, t := range ts {
+		for seed := 0; seed < opts.Seeds; seed++ {
+			plans++
+			o1 := runPlan(t, ti, uint64(seed), opts.Short)
+			o2 := runPlan(t, ti, uint64(seed), opts.Short)
+			fmt.Fprintln(w, o1.line)
+			if o1.line != o2.line {
+				nondet++
+				fmt.Fprintf(w, "NONDETERMINISTIC rerun: %s\n", o2.line)
+			}
+			if o1.ok && o2.ok {
+				passed++
+			} else {
+				failed++
+			}
+		}
+	}
+	ok := failed == 0 && nondet == 0
+	fmt.Fprintf(w, "crashtest: %d plans, %d passed, %d failed, %d nondeterministic\n",
+		plans, passed, failed, nondet)
+	return ok, nil
+}
+
+type outcome struct {
+	line string
+	ok   bool
+}
+
+type write struct {
+	off, val uint32
+}
+
+// runPlan executes one (template, seed) cell: optional dry run, then the
+// faulted run.
+func runPlan(t template, ti int, seed uint64, short bool) (out outcome) {
+	defer func() {
+		// The binary must never die on a plan: anything but the
+		// injector's Crash sentinel (handled inside the scenarios) is a
+		// verdict, not a panic.
+		if r := recover(); r != nil {
+			out = outcome{line: fmt.Sprintf("plan=%s seed=%d verdict=FAIL-panic err=%v", t.name, seed, r), ok: false}
+		}
+	}()
+	// The workload RNG is derived from Plan.Seed, so the dry run (zero
+	// triggers, same Seed) replays the exact same workload.
+	wseed := (uint64(ti)+1)*0x9E3779B97F4A7C15 ^ (seed+1)*0x85EBCA77C2B2AE63
+	var dry uint64
+	if t.needsDry {
+		dryPlan := fault.Plan{Name: t.name + "/dry", Seed: wseed}
+		var d outcome
+		d, dry = runScenario(t, dryPlan, short)
+		if !d.ok {
+			return outcome{line: fmt.Sprintf("plan=%s seed=%d verdict=FAIL-dry %s", t.name, seed, d.line), ok: false}
+		}
+	}
+	plan := t.plan(seed, dry)
+	plan.Name = t.name
+	plan.Seed = wseed
+	out, _ = runScenario(t, plan, short)
+	return out
+}
+
+func runScenario(t template, plan fault.Plan, short bool) (outcome, uint64) {
+	if t.scenario == "log" {
+		return runLog(t, plan, short)
+	}
+	return runTPCA(t, plan, short)
+}
+
+// runLog drives the raw logged-segment workload: batches of seeded
+// stores bracketed by marker words, one Sync per batch as the
+// durability fence, recovery by log replay into a fresh segment.
+func runLog(t template, plan fault.Plan, short bool) (outcome, uint64) {
+	const segSize = 64 * 1024
+	const markerLimit = 16
+	stores := 4096
+	if short {
+		stores = 1024
+	}
+	// Worst case ~3 records per store (tiny batches: marker, store,
+	// commit marker); oversize so the log never wraps into absorb mode.
+	logPages := uint32(3*stores*16/int(core.PageSize)) + 8
+	sys := core.NewSystem(core.Config{
+		NumCPUs:   1,
+		MemFrames: int(segSize/core.PageSize) + int(logPages) + 4096,
+	})
+	seg := core.NewNamedSegment(sys, "ct-data", segSize, nil)
+	reg := core.NewStdRegion(sys, seg)
+	ls := core.NewLogSegment(sys, logPages)
+	if err := reg.Log(ls); err != nil {
+		return failf(plan, "setup err=%v", err), 0
+	}
+	as := sys.NewAddressSpace()
+	base, err := reg.Bind(as, 0)
+	if err != nil {
+		return failf(plan, "setup err=%v", err), 0
+	}
+	p := sys.NewProcess(0, as)
+
+	in := fault.New(plan)
+	in.Arm(sys, nil, ls, seg, markerLimit)
+
+	type logBatch struct {
+		endOff uint32
+		writes []write
+	}
+	var committed []logBatch
+	var pending []write
+	var crash *fault.Crash
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c, isCrash := r.(*fault.Crash)
+				if !isCrash {
+					panic(r)
+				}
+				crash = c
+			}
+		}()
+		wr := fault.NewRNG(plan.Seed + 1)
+		seq := uint32(0)
+		for s := 0; s < stores; {
+			seq++
+			pending = pending[:0]
+			p.Store32(base, seq) // begin marker
+			n := 1 + wr.Intn(t.maxBatch)
+			for j := 0; j < n; j++ {
+				off := uint32(markerLimit) + uint32(wr.Intn((segSize-markerLimit)/4))*4
+				val := uint32(wr.Next())
+				p.Store32(base+off, val)
+				pending = append(pending, write{off, val})
+				s++
+			}
+			p.Store32(base, seq|recovery.MarkerCommit) // commit marker
+			sys.Sync()                                 // durability fence
+			committed = append(committed, logBatch{
+				endOff: sys.K.LogAppendOffset(ls),
+				writes: append([]write(nil), pending...),
+			})
+			pending = pending[:0]
+		}
+	}()
+	elapsed := sys.Elapsed()
+
+	// Recovery: replay the surviving log into a fresh segment.
+	in.SetRecoveryMode(true)
+	dst := core.NewNamedSegment(sys, "ct-recovered", segSize, nil)
+	res := recovery.Replay(sys, recovery.ReplayOptions{
+		Log: ls, Data: seg, Dst: dst, MarkerLimit: markerLimit,
+	})
+	rep := in.Report()
+
+	// Reference state: batches whose log extent survived undamaged. A
+	// batch replays fully iff its commit marker lies before the
+	// quarantine point.
+	expected := recovery.NewShadow(segSize)
+	for _, b := range committed {
+		if res.Quarantined() && b.endOff > res.QuarantinedFrom {
+			continue
+		}
+		for _, wv := range b.writes {
+			expected.Write32(wv.off, wv.val)
+		}
+	}
+	verdict, diffs := classify(expected, pending, dst, markerLimit, res, rep)
+	return mkOutcome(t.name, plan, verdict, crash, "", rep, res, diffs), elapsed
+}
+
+// engine abstracts the two recoverable-memory managers for the TPC-A
+// workload (mirrors internal/tpca's private engine, plus SetRange).
+type engine interface {
+	Begin() error
+	Write32(va core.Addr, v uint32) error
+	SetRange(va core.Addr, n uint32) error
+	Commit() error
+	Base() core.Addr
+	Segment() *core.Segment
+}
+
+type rvmEngine struct{ m *rvm.Manager }
+
+func (e rvmEngine) Begin() error                          { return e.m.Begin() }
+func (e rvmEngine) Write32(va core.Addr, v uint32) error  { return e.m.RecoverableWrite32(va, v) }
+func (e rvmEngine) SetRange(va core.Addr, n uint32) error { return e.m.SetRange(va, n) }
+func (e rvmEngine) Commit() error                         { return e.m.Commit() }
+func (e rvmEngine) Base() core.Addr                       { return e.m.Base() }
+func (e rvmEngine) Segment() *core.Segment                { return e.m.Segment() }
+
+type rlvmEngine struct{ m *rlvm.Manager }
+
+func (e rlvmEngine) Begin() error                          { return e.m.Begin() }
+func (e rlvmEngine) Write32(va core.Addr, v uint32) error  { return e.m.RecoverableWrite32(va, v) }
+func (e rlvmEngine) SetRange(va core.Addr, n uint32) error { return nil } // logged writes need no ranges
+func (e rlvmEngine) Commit() error                         { return e.m.Commit() }
+func (e rlvmEngine) Base() core.Addr                       { return e.m.Base() }
+func (e rlvmEngine) Segment() *core.Segment                { return e.m.Segment() }
+
+// bootTPCA boots a system, process and manager of the given kind over
+// disk d.
+func bootTPCA(kind string, size uint32, d ramdisk.Device) (*core.System, *core.Process, engine, error) {
+	frames := int(size/core.PageSize) + 4096
+	if kind == "rvm" {
+		sys := core.NewSystemNoLogger(core.Config{NumCPUs: 1, MemFrames: frames})
+		p := sys.NewProcess(0, sys.NewAddressSpace())
+		m, err := rvm.New(sys, p, size, d, rvm.Options{})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return sys, p, rvmEngine{m}, nil
+	}
+	sys := core.NewSystem(core.Config{NumCPUs: 1, MemFrames: frames + 8192})
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	m, err := rlvm.New(sys, p, size, d, rlvm.Options{LogPages: 512})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, p, rlvmEngine{m}, nil
+}
+
+// runTPCA drives the TPC-A debit-credit workload over RVM or RLVM with
+// the plan armed, then recovers from the surviving ramdisk on a freshly
+// booted system through a retry-wrapped device.
+func runTPCA(t template, plan fault.Plan, short bool) (outcome, uint64) {
+	cfg := tpca.DefaultConfig()
+	cfg.Txns = 120
+	if short {
+		cfg.Txns = 40
+	}
+	lay := tpca.NewLayout(cfg)
+	markerAdj := uint32(0)
+	if t.scenario == "rlvm" {
+		markerAdj = rlvm.MarkerBytes
+	}
+	disk := ramdisk.New()
+
+	sys, p, eng, err := bootTPCA(t.scenario, lay.Size, disk)
+	if err != nil {
+		return failf(plan, "boot err=%v", err), 0
+	}
+
+	in := fault.New(plan)
+	if e, isRLVM := eng.(rlvmEngine); isRLVM {
+		in.Arm(sys, disk, e.m.LogSegment(), e.m.Segment(), rlvm.MarkerBytes)
+	} else {
+		in.Arm(sys, disk, nil, nil, 0)
+	}
+
+	shadow := recovery.NewShadow(lay.Size + markerAdj)
+	var pending []write
+	var crash *fault.Crash
+	var stopErr error
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c, isCrash := r.(*fault.Crash)
+				if !isCrash {
+					panic(r)
+				}
+				crash = c
+			}
+		}()
+		wr := fault.NewRNG(plan.Seed + 1)
+		base := eng.Base()
+		histSlot := 0
+		for i := 0; i < cfg.Txns; i++ {
+			b := wr.Intn(cfg.Branches)
+			teller := b*cfg.TellersPerBranch + wr.Intn(cfg.TellersPerBranch)
+			account := b*cfg.AccountsPerBranch + wr.Intn(cfg.AccountsPerBranch)
+			delta := uint32(wr.Intn(1000) + 1)
+			pending = pending[:0]
+			if stopErr = eng.Begin(); stopErr != nil {
+				return
+			}
+			update := func(off uint32) error {
+				va := base + off
+				p.Compute(tpca.LookupCycles)
+				old := p.Load32(va)
+				if err := eng.Write32(va, old+delta); err != nil {
+					return err
+				}
+				pending = append(pending, write{off + markerAdj, old + delta})
+				return nil
+			}
+			if stopErr = update(lay.AccountOff + uint32(account)*lay.BalanceRecBytes); stopErr != nil {
+				return
+			}
+			if stopErr = update(lay.TellerOff + uint32(teller)*lay.BalanceRecBytes); stopErr != nil {
+				return
+			}
+			if stopErr = update(lay.BranchOff + uint32(b)*lay.BalanceRecBytes); stopErr != nil {
+				return
+			}
+			hOff := lay.HistoryOff + uint32(histSlot)*lay.HistoryRecBytes
+			histSlot = (histSlot + 1) % cfg.HistorySlots
+			p.Compute(tpca.LookupCycles)
+			if stopErr = eng.SetRange(base+hOff, lay.HistoryRecBytes); stopErr != nil {
+				return
+			}
+			hw := [4]uint32{uint32(account), uint32(teller)<<16 | uint32(b), delta, uint32(i)}
+			for k, v := range hw {
+				p.Store32(base+hOff+uint32(k*4), v)
+				pending = append(pending, write{hOff + uint32(k*4) + markerAdj, v})
+			}
+			if stopErr = eng.Commit(); stopErr != nil {
+				return
+			}
+			for _, wv := range pending {
+				shadow.Write32(wv.off, wv.val)
+			}
+			pending = pending[:0]
+		}
+	}()
+	elapsed := sys.Elapsed()
+	// Recovery: boot a fresh machine over the surviving disk, wrapped
+	// with bounded retry so armed transient failures are absorbed.
+	in.SetRecoveryMode(true)
+	var sys2 *core.System
+	var eng2 engine
+	{
+		frames := int(lay.Size/core.PageSize) + 4096
+		if t.scenario == "rvm" {
+			sys2 = core.NewSystemNoLogger(core.Config{NumCPUs: 1, MemFrames: frames})
+		} else {
+			sys2 = core.NewSystem(core.Config{NumCPUs: 1, MemFrames: frames + 8192})
+		}
+		p2 := sys2.NewProcess(0, sys2.NewAddressSpace())
+		rd := recovery.NewRetryDisk(disk, nil, sys2.DeviceShard())
+		if t.scenario == "rvm" {
+			m, err := rvm.New(sys2, p2, lay.Size, rd, rvm.Options{})
+			if err != nil {
+				return failf(plan, "recovery err=%v", err), elapsed
+			}
+			eng2 = rvmEngine{m}
+		} else {
+			m, err := rlvm.New(sys2, p2, lay.Size, rd, rlvm.Options{LogPages: 512})
+			if err != nil {
+				return failf(plan, "recovery err=%v", err), elapsed
+			}
+			eng2 = rlvmEngine{m}
+		}
+	}
+	rep := in.Report()
+	res := recovery.Result{QuarantinedFrom: recovery.NoQuarantine}
+	verdict, diffs := classify(shadow, pending, eng2.Segment(), markerAdj, res, rep)
+	errNote := ""
+	if stopErr != nil {
+		errNote = "commit-error"
+	}
+	return mkOutcome(t.name, plan, verdict, crash, errNote, rep, res, diffs), elapsed
+}
+
+// classify turns (reference state, recovered state, injector ground
+// truth) into a verdict. Passing verdicts: RECOVERED (exact match),
+// RECOVERED-INDOUBT (exact modulo the one transaction in flight at the
+// crash), DEGRADED* (mismatch fully accounted for by injected damage,
+// with any quarantine starting at injected damage).
+func classify(expected *recovery.Shadow, pending []write, seg *core.Segment, from uint32,
+	res recovery.Result, rep *fault.Report) (string, int) {
+	if res.Quarantined() && !rep.ExplainsQuarantine(res.QuarantinedFrom) {
+		return "FAIL-quarantine", 0
+	}
+	diff := expected.Diff(seg, from)
+	if len(diff) == 0 {
+		if res.Quarantined() {
+			return "DEGRADED-quarantine", 0
+		}
+		return "RECOVERED", 0
+	}
+	// In-doubt: the transaction mid-commit at the crash may have become
+	// durable even though the workload never saw the commit succeed.
+	e2 := expected.Clone()
+	for _, wv := range pending {
+		e2.Write32(wv.off, wv.val)
+	}
+	diff2 := e2.Diff(seg, from)
+	if len(diff2) == 0 {
+		return "RECOVERED-INDOUBT", 0
+	}
+	if explained(diff, rep) || explained(diff2, rep) {
+		return "DEGRADED", len(diff)
+	}
+	if rep.AnyMarkerDamage() {
+		// Damaged transaction bracketing: whole batches may be lost.
+		return "DEGRADED-marker", len(diff)
+	}
+	return "FAIL", len(diff)
+}
+
+// explained reports whether every mismatching byte lies inside the
+// injector's ground-truth damage ranges.
+func explained(diff []recovery.DiffRange, rep *fault.Report) bool {
+	for _, d := range diff {
+		for off := d.Off; off < d.Off+d.Len; off++ {
+			if !rep.Explains(off) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func passVerdict(v string) bool {
+	switch v {
+	case "RECOVERED", "RECOVERED-INDOUBT", "DEGRADED", "DEGRADED-quarantine", "DEGRADED-marker":
+		return true
+	}
+	return false
+}
+
+func mkOutcome(name string, plan fault.Plan, verdict string, crash *fault.Crash,
+	errNote string, rep *fault.Report, res recovery.Result, diffs int) outcome {
+	crashS := "none"
+	if crash != nil {
+		crashS = fmt.Sprintf("%s@%d", crash.Cause, crash.Cycle)
+	} else if errNote != "" {
+		crashS = errNote
+	}
+	q := "none"
+	if res.Quarantined() {
+		q = fmt.Sprintf("%d+%d", res.QuarantinedFrom, res.QuarantinedBytes)
+	}
+	line := fmt.Sprintf(
+		"plan=%s seed=%#x verdict=%s crash=%s records=%d drop=%d corrupt=%d diskerr=%d scanned=%d applied=%d txns=%d invalid=%d tail=%d q=%s lost=%d diff=%d",
+		name, plan.Seed, verdict, crashS, rep.RecordsSeen, rep.Dropped, rep.Corrupted,
+		rep.DiskErrors, res.Scanned, res.Applied, res.Txns, res.InvalidRecords,
+		res.IncompleteTail, q, res.LostRecords, diffs)
+	return outcome{line: line, ok: passVerdict(verdict)}
+}
+
+func failf(plan fault.Plan, format string, a ...any) outcome {
+	return outcome{
+		line: fmt.Sprintf("plan=%s seed=%#x verdict=FAIL-setup %s", plan.Name, plan.Seed, fmt.Sprintf(format, a...)),
+		ok:   false,
+	}
+}

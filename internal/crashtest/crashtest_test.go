@@ -1,0 +1,31 @@
+package crashtest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunShortMatrixIsDeterministic runs a small seeded matrix twice and
+// requires every plan to pass and the full report to be byte-identical —
+// the same property `lvmbench crashtest` gates on, at smoke scale.
+func TestRunShortMatrixIsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	ok1, err := Run(Options{Seeds: 2, Short: true}, &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok2, err := Run(Options{Seeds: 2, Short: true}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok1 || !ok2 {
+		t.Fatalf("crashtest matrix failed:\n%s", a.String())
+	}
+	if a.String() != b.String() {
+		t.Fatalf("reports differ between identical runs:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	if strings.Contains(a.String(), "FAIL") {
+		t.Fatalf("report contains FAIL verdicts:\n%s", a.String())
+	}
+}

@@ -131,6 +131,18 @@ type Logger struct {
 	// If nil, the default adds cycles.OverloadKernelCycles.
 	OnOverload func(drainedAt uint64) (resumeAt uint64)
 
+	// DMAHook, when non-nil, observes each record-mode DMA just before the
+	// 16-byte record reaches memory at dst. The hook may mutate the record
+	// (bit corruption) or return drop=true to lose it entirely (the drop
+	// is tallied through the normal lost-record accounting). It is the
+	// fault injector's insertion point; nil (the default) costs the DMA
+	// path one predictable branch.
+	DMAHook func(rec *logrec.Record, dst phys.Addr) (drop bool)
+	// hookRec is the scratch record handed to DMAHook: hooks mutate it in
+	// place, and keeping it on the Logger (rather than taking the address
+	// of a local) keeps the record-mode DMA path allocation-free.
+	hookRec logrec.Record
+
 	// Capacity and threshold, configurable for experiments; defaults are
 	// the prototype's 819/512.
 	Capacity  int
@@ -242,6 +254,7 @@ func (l *Logger) Snoop(w machine.LoggedWrite) (stallUntil uint64) {
 			resume = l.OnOverload(drained)
 		}
 		if resume > w.Time {
+			l.StallCycles += resume - w.Time
 			l.ms.Add(metrics.HWOverloadDrainCycles, resume-w.Time)
 		}
 		l.tr.Emit(w.Time, metrics.EvOverload, int(w.CPU), drained, resume)
@@ -382,6 +395,17 @@ func (l *Logger) serviceOne() {
 			CPU:       e.CPU,
 			Timestamp: cycles.ToTimestamp(e.Time),
 		}
+		if l.DMAHook != nil {
+			l.hookRec = rec
+			if l.DMAHook(&l.hookRec, lt.Addr) {
+				// The DMA transfer was lost: the head does not advance,
+				// so later records close the gap and the log stays dense.
+				l.recordLost()
+				l.freeAt = complete
+				return
+			}
+			rec = l.hookRec
+		}
 		var buf [logrec.Size]byte
 		rec.Encode(buf[:])
 		l.mem.WriteBlock16(lt.Addr, &buf)
@@ -417,4 +441,28 @@ func (l *Logger) serviceOne() {
 func (l *Logger) recordLost() {
 	l.RecordsLost++
 	l.ms.Inc(metrics.HWRecordsLost)
+}
+
+// PendingWrites visits every FIFO entry not yet DMAed, oldest first,
+// without consuming them (crash forensics: the fault injector captures
+// the in-flight writes a power loss would destroy).
+func (l *Logger) PendingWrites(fn func(w machine.LoggedWrite)) {
+	for i := 0; i < l.fifoLen; i++ {
+		idx := l.fifoHead + i
+		if idx >= len(l.fifo) {
+			idx -= len(l.fifo)
+		}
+		fn(l.fifo[idx])
+	}
+}
+
+// DiscardPending empties the FIFOs without DMAing the queued records,
+// modeling the loss of the volatile FIFO chips at a crash. It returns the
+// number of entries discarded; the caller (the fault injector) owns the
+// accounting of what was lost.
+func (l *Logger) DiscardPending() int {
+	n := l.fifoLen
+	l.fifoLen = 0
+	l.fifoHead = 0
+	return n
 }

@@ -85,6 +85,15 @@ type Machine struct {
 	// Metrics is the machine's counter/histogram registry: one shard per
 	// CPU plus a final shard for bus devices (the hardware logger).
 	Metrics *metrics.Registry
+
+	// watchAt/watchFn is a one-shot cycle watchpoint: the first time a CPU
+	// clock reaches watchAt at a watch site (Compute, write-through
+	// stores), watchFn fires once and the watch disarms. The fault
+	// injector uses it to crash the machine at a chosen cycle. The check
+	// is a single predictable compare, and firing never adjusts any clock,
+	// so an armed (or disarmed) watch cannot perturb cycle accounting.
+	watchAt uint64
+	watchFn func(c *CPU)
 }
 
 // New creates a machine. The log device, if any, is attached afterwards by
@@ -173,6 +182,28 @@ func (c *CPU) Machine() *Machine { return c.m }
 func (c *CPU) Compute(n uint64) {
 	c.Now += n
 	c.ComputeCycles += n
+	if c.m.watchAt != 0 && c.Now >= c.m.watchAt {
+		c.m.fireWatch(c)
+	}
+}
+
+// SetCycleWatch arms fn to fire once, the first time any CPU's clock
+// reaches cycle t at a watch site. t == 0 disarms. Watch sites cover
+// Compute and write-through stores — the paths every logged workload goes
+// through — not the write-back store hit, which is the machine's hot path.
+func (m *Machine) SetCycleWatch(t uint64, fn func(c *CPU)) {
+	m.watchAt = t
+	m.watchFn = fn
+}
+
+// fireWatch disarms the watch before invoking it, so a callback that
+// panics (a simulated crash) or issues more work cannot re-enter.
+func (m *Machine) fireWatch(c *CPU) {
+	fn := m.watchFn
+	m.watchAt, m.watchFn = 0, nil
+	if fn != nil {
+		fn(c)
+	}
 }
 
 // pump lets the log device claim bus slots that become serviceable before
@@ -213,6 +244,9 @@ func (c *CPU) WordWrite(paddr phys.Addr, vaddr uint32, value uint32, size uint16
 				c.MS.Observe(metrics.HistStallCycles, stall-c.Now)
 				c.Now = stall
 			}
+		}
+		if c.m.watchAt != 0 && c.Now >= c.m.watchAt {
+			c.m.fireWatch(c)
 		}
 		return
 	}

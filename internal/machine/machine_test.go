@@ -199,3 +199,73 @@ func TestStoreLoadCounters(t *testing.T) {
 		t.Fatalf("counters: stores=%d loads=%d", c.Stores, c.Loads)
 	}
 }
+
+func TestCycleWatchFiresOnceAndDisarms(t *testing.T) {
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	c := m.CPUs[0]
+
+	var fired []uint64
+	m.SetCycleWatch(100, func(w *CPU) {
+		fired = append(fired, w.Now)
+		// Re-entrant work from the callback must not re-fire the
+		// already-disarmed watch.
+		w.Compute(500)
+	})
+	c.Compute(40) // 40 < 100: nothing
+	if len(fired) != 0 {
+		t.Fatalf("watch fired early at %v", fired)
+	}
+	c.Compute(70) // 110 >= 100: fires exactly once
+	if len(fired) != 1 || fired[0] != 110 {
+		t.Fatalf("fired = %v, want exactly [110]", fired)
+	}
+	c.Compute(1000) // disarmed: no re-fire
+	if len(fired) != 1 {
+		t.Fatalf("disarmed watch re-fired: %v", fired)
+	}
+}
+
+func TestCycleWatchFiresOnWriteThroughStore(t *testing.T) {
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	c := m.CPUs[0]
+	f, _ := m.Phys.Alloc()
+	addr := phys.FrameBase(f)
+
+	fired := false
+	m.SetCycleWatch(1, func(w *CPU) { fired = true })
+	c.WordWrite(addr, addr, 1, 4, true, false)
+	if !fired {
+		t.Fatalf("watch did not fire at a write-through store site")
+	}
+}
+
+func TestCycleWatchDisarmedCostsNothing(t *testing.T) {
+	// Two identical runs, one with a watch armed far beyond the horizon:
+	// an armed-but-unfired watch must not change simulated timing.
+	run := func(arm bool) uint64 {
+		m := New(Config{NumCPUs: 1, MemFrames: 16})
+		if arm {
+			m.SetCycleWatch(1<<60, func(*CPU) {})
+		}
+		c := m.CPUs[0]
+		f, _ := m.Phys.Alloc()
+		addr := phys.FrameBase(f)
+		for i := 0; i < 100; i++ {
+			c.Compute(7)
+			c.WordWrite(addr+phys.Addr(4*(i%8)), 0, uint32(i), 4, true, false)
+		}
+		return c.Now
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("armed watch changed timing: %d vs %d", a, b)
+	}
+	// SetCycleWatch(0, ...) disarms.
+	m := New(Config{NumCPUs: 1, MemFrames: 16})
+	fired := false
+	m.SetCycleWatch(10, func(*CPU) { fired = true })
+	m.SetCycleWatch(0, nil)
+	m.CPUs[0].Compute(100)
+	if fired {
+		t.Fatalf("watch fired after explicit disarm")
+	}
+}

@@ -64,6 +64,21 @@ const (
 	VMDeferredDirtyPages // dirty pages encountered by resets
 	VMDeferredLinesReset // cache lines re-pointed at the source by resets
 
+	// Fault injection and crash recovery (internal/fault,
+	// internal/recovery): the robustness harness counts what it breaks and
+	// what the recovery manager repairs through the same registry the
+	// hardware counters use, so crashtest reports come out of one snapshot.
+	FaultsInjected         // faults the injector armed and fired
+	FaultRecordsDropped    // log records dropped in the DMA path by injection
+	RecordsCorrupted       // log records bit-corrupted in the DMA path
+	FaultDiskErrors        // transient ramdisk op failures injected
+	FaultCrashes           // simulated machine crashes
+	RecoveryReplays        // log-replay recovery passes
+	RecoveryRecordsApplied // records applied to a segment during replay
+	RecoveryRetries        // bounded-backoff retries of transient device errors
+	RecoveryInvalidRecords // records rejected by replay validation
+	QuarantinedBytes       // log bytes quarantined as a damaged tail
+
 	// NumIDs is the counter-array length; keep it last.
 	NumIDs
 )
@@ -107,6 +122,16 @@ var counterMeta = [NumIDs]struct {
 	VMDeferredResets:       {"vm.deferred_resets", KindSum},
 	VMDeferredDirtyPages:   {"vm.deferred_dirty_pages", KindSum},
 	VMDeferredLinesReset:   {"vm.deferred_lines_reset", KindSum},
+	FaultsInjected:         {"fault.injected", KindSum},
+	FaultRecordsDropped:    {"fault.records_dropped", KindSum},
+	RecordsCorrupted:       {"fault.records_corrupted", KindSum},
+	FaultDiskErrors:        {"fault.disk_errors", KindSum},
+	FaultCrashes:           {"fault.crashes", KindSum},
+	RecoveryReplays:        {"recovery.replays", KindSum},
+	RecoveryRecordsApplied: {"recovery.records_applied", KindSum},
+	RecoveryRetries:        {"recovery.retries", KindSum},
+	RecoveryInvalidRecords: {"recovery.invalid_records", KindSum},
+	QuarantinedBytes:       {"recovery.quarantined_bytes", KindSum},
 }
 
 // Name returns a counter's snapshot name.

@@ -30,13 +30,60 @@ const (
 	SyncCycles = 11_000
 )
 
+// Op identifies a device operation for the failure-injection hook.
+type Op uint8
+
+const (
+	// OpRead is a ReadAt/TryReadAt request.
+	OpRead Op = iota
+	// OpWrite is a WriteAt/TryWriteAt request.
+	OpWrite
+	// OpSync is a Sync/TrySync barrier.
+	OpSync
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return "sync"
+	}
+}
+
+// Device is the block-device surface the recoverable-memory managers
+// (internal/rvm, internal/rlvm) write through. *Disk implements it;
+// internal/recovery wraps one with bounded retry-with-backoff so
+// transient faults are absorbed below the managers.
+type Device interface {
+	// TryReadAt reads len(out) bytes starting at off. On error the
+	// operation's cycles are still charged (the request reached the
+	// device) but out is untouched.
+	TryReadAt(cpu *machine.CPU, off uint64, out []byte) error
+	// TryWriteAt stores data starting at off. On error no bytes are
+	// written: a failed commit write leaves a torn record for the WAL
+	// scan to detect, never a partial silent success.
+	TryWriteAt(cpu *machine.CPU, off uint64, data []byte) error
+	// TrySync is a flush barrier.
+	TrySync(cpu *machine.CPU) error
+}
+
 // Disk is a RAM disk: an array of blocks with a cycle cost model.
 type Disk struct {
 	blocks map[uint32][]byte
 
+	// FailHook, when non-nil, may fail an operation before any data
+	// moves (the fault injector's transient-error surface). The failed
+	// op is still charged its device cycles and counted in FailedOps.
+	FailHook func(op Op, off uint64, n int) error
+
 	// Stats.
 	Reads, Writes, Syncs uint64
 	BlocksMoved          uint64
+	FailedOps            uint64
 }
 
 // New creates an empty RAM disk.
@@ -44,12 +91,24 @@ func New() *Disk { return &Disk{blocks: make(map[uint32][]byte)} }
 
 // WriteAt stores data starting at the given byte offset, charging the
 // device cost to cpu (nil = uncharged, e.g. during recovery replay).
+// Injected failures are dropped; fault-aware callers use TryWriteAt.
 func (d *Disk) WriteAt(cpu *machine.CPU, off uint64, data []byte) {
+	_ = d.TryWriteAt(cpu, off, data)
+}
+
+// TryWriteAt implements Device.
+func (d *Disk) TryWriteAt(cpu *machine.CPU, off uint64, data []byte) error {
 	nblocks := d.span(off, len(data))
 	d.Writes++
 	d.BlocksMoved += nblocks
 	if cpu != nil {
 		cpu.Compute(OpCycles + nblocks*BlockCycles)
+	}
+	if d.FailHook != nil {
+		if err := d.FailHook(OpWrite, off, len(data)); err != nil {
+			d.FailedOps++
+			return err
+		}
 	}
 	for len(data) > 0 {
 		bn := uint32(off / BlockSize)
@@ -59,15 +118,28 @@ func (d *Disk) WriteAt(cpu *machine.CPU, off uint64, data []byte) {
 		data = data[n:]
 		off += uint64(n)
 	}
+	return nil
 }
 
-// ReadAt reads len(out) bytes starting at off.
+// ReadAt reads len(out) bytes starting at off, dropping injected
+// failures; fault-aware callers use TryReadAt.
 func (d *Disk) ReadAt(cpu *machine.CPU, off uint64, out []byte) {
+	_ = d.TryReadAt(cpu, off, out)
+}
+
+// TryReadAt implements Device.
+func (d *Disk) TryReadAt(cpu *machine.CPU, off uint64, out []byte) error {
 	nblocks := d.span(off, len(out))
 	d.Reads++
 	d.BlocksMoved += nblocks
 	if cpu != nil {
 		cpu.Compute(OpCycles + nblocks*BlockCycles)
+	}
+	if d.FailHook != nil {
+		if err := d.FailHook(OpRead, off, len(out)); err != nil {
+			d.FailedOps++
+			return err
+		}
 	}
 	for len(out) > 0 {
 		bn := uint32(off / BlockSize)
@@ -77,14 +149,27 @@ func (d *Disk) ReadAt(cpu *machine.CPU, off uint64, out []byte) {
 		out = out[n:]
 		off += uint64(n)
 	}
+	return nil
 }
 
-// Sync charges a flush barrier.
+// Sync charges a flush barrier, dropping injected failures.
 func (d *Disk) Sync(cpu *machine.CPU) {
+	_ = d.TrySync(cpu)
+}
+
+// TrySync implements Device.
+func (d *Disk) TrySync(cpu *machine.CPU) error {
 	d.Syncs++
 	if cpu != nil {
 		cpu.Compute(SyncCycles)
 	}
+	if d.FailHook != nil {
+		if err := d.FailHook(OpSync, 0, 0); err != nil {
+			d.FailedOps++
+			return err
+		}
+	}
+	return nil
 }
 
 func (d *Disk) block(bn uint32) []byte {

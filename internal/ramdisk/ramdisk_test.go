@@ -2,6 +2,7 @@ package ramdisk
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"lvm/internal/machine"
@@ -79,5 +80,61 @@ func TestCrossBlockIntegrity(t *testing.T) {
 	d.ReadAt(nil, 777, out)
 	if !bytes.Equal(out, big) {
 		t.Fatalf("cross-block data corrupted")
+	}
+}
+
+func TestFailHookFailsOpButChargesCycles(t *testing.T) {
+	d := New()
+	c := cpu()
+	d.WriteAt(nil, 0, []byte{0xAA})
+
+	var ops []Op
+	injected := errors.New("transient device error")
+	d.FailHook = func(op Op, off uint64, n int) error {
+		ops = append(ops, op)
+		return injected
+	}
+
+	before := c.Now
+	if err := d.TryWriteAt(c, 0, []byte{0xBB}); !errors.Is(err, injected) {
+		t.Fatalf("TryWriteAt err = %v", err)
+	}
+	// The failed op still cost its device cycles (the request reached the
+	// device before the error surfaced).
+	if c.Now-before != OpCycles+BlockCycles {
+		t.Fatalf("failed write charged %d cycles, want %d", c.Now-before, OpCycles+BlockCycles)
+	}
+	// ...and moved no data.
+	out := make([]byte, 1)
+	d.FailHook = nil
+	d.ReadAt(nil, 0, out)
+	if out[0] != 0xAA {
+		t.Fatalf("failed write mutated the disk: %#x", out[0])
+	}
+
+	d.FailHook = func(op Op, off uint64, n int) error {
+		ops = append(ops, op)
+		return injected
+	}
+	if err := d.TryReadAt(c, 0, out); !errors.Is(err, injected) {
+		t.Fatalf("TryReadAt err = %v", err)
+	}
+	if out[0] != 0xAA {
+		t.Fatalf("failed read touched the output buffer")
+	}
+	if err := d.TrySync(c); !errors.Is(err, injected) {
+		t.Fatalf("TrySync err = %v", err)
+	}
+	if d.FailedOps != 3 {
+		t.Fatalf("FailedOps = %d, want 3", d.FailedOps)
+	}
+	want := []Op{OpWrite, OpRead, OpSync}
+	for i, op := range want {
+		if ops[i] != op {
+			t.Fatalf("hook ops = %v, want %v", ops, want)
+		}
+	}
+	if OpRead.String() != "read" || OpWrite.String() != "write" || OpSync.String() != "sync" {
+		t.Fatalf("Op.String broken")
 	}
 }

@@ -1,0 +1,251 @@
+// Package recovery is the crash-recovery manager for logged virtual
+// memory: after a simulated crash it replays the surviving log (via
+// core.LogReader) to reconstruct segment state, detects torn or corrupt
+// records by validation, applies bounded retry-with-backoff to transient
+// device errors, and degrades gracefully — quarantining the damaged log
+// tail and reporting the lost-record extent — instead of panicking.
+//
+// The replay understands the marker-word transaction protocol the RLVM
+// manager (and the crashtest log workload) uses: a store to the marker
+// area with the high bit clear opens a transaction, one with the high
+// bit set (MarkerCommit) commits it. Records between markers are
+// buffered and applied only when their commit marker is found, so an
+// uncommitted tail is discarded rather than half-applied.
+package recovery
+
+import (
+	"fmt"
+
+	"lvm/internal/core"
+	"lvm/internal/machine"
+	"lvm/internal/metrics"
+	"lvm/internal/ramdisk"
+)
+
+// MarkerCommit is the high bit of a marker-word value: set = the store
+// commits the transaction the marker opened.
+const MarkerCommit = uint32(0x8000_0000)
+
+// NoQuarantine is the QuarantinedFrom value when the whole log replayed
+// cleanly.
+const NoQuarantine = ^uint32(0)
+
+// ReplayOptions configures one replay.
+type ReplayOptions struct {
+	// Log is the surviving log segment; Data is the logged data segment
+	// whose records are replayed.
+	Log  *core.Segment
+	Data *core.Segment
+	// Dst receives the replayed writes (typically a fresh segment, or
+	// the data segment itself for in-place reconstruction). nil = dry
+	// run (validate and count only).
+	Dst *core.Segment
+	// MarkerLimit: data offsets below this are marker words driving the
+	// transaction protocol above. 0 disables marker interpretation.
+	MarkerLimit uint32
+	// ApplyAll applies every valid record immediately, ignoring
+	// transaction bracketing (used by edge tests that replay raw logs).
+	ApplyAll bool
+	// End overrides the log-end offset (clamped to the segment size).
+	// 0 = ask the kernel for the hardware append offset. Crash recovery
+	// sets this when the device head did not survive the crash.
+	End uint32
+}
+
+// Result reports what one replay did and what it could not recover.
+type Result struct {
+	Scanned        int // records read from the log
+	Applied        int // records applied to Dst
+	Skipped        int // records resolving to other segments
+	Txns           int // committed transactions replayed
+	InvalidRecords int // records rejected by validation (0 or 1: first stops the scan)
+	IncompleteTail int // buffered records discarded (no commit marker / quarantine)
+
+	// QuarantinedFrom/QuarantinedBytes describe the damaged tail: the
+	// log offset of the first invalid record and the extent from there
+	// to the log end. QuarantinedFrom == NoQuarantine when clean.
+	QuarantinedFrom  uint32
+	QuarantinedBytes uint32
+
+	LostRecords uint64 // hardware-counted records lost before the crash
+	LastSeq     uint32 // last committed transaction sequence number
+}
+
+// Quarantined reports whether the replay hit a damaged tail.
+func (r *Result) Quarantined() bool { return r.QuarantinedFrom != NoQuarantine }
+
+// Replay scans the log and reconstructs data-segment state per the
+// options. It never panics on damaged input: the first record that
+// fails validation ends the scan and quarantines the rest of the log.
+func Replay(sys *core.System, o ReplayOptions) Result {
+	res := Result{QuarantinedFrom: NoQuarantine}
+	sh := sys.DeviceShard()
+	sh.Inc(metrics.RecoveryReplays)
+	if sys.K.Log != nil {
+		res.LostRecords = sys.K.Log.RecordsLost
+	}
+
+	r := core.NewLogReader(sys, o.Log)
+	if o.End != 0 {
+		r.SetEnd(o.End)
+	}
+	var batch []core.Record
+	for {
+		off := r.Offset()
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		res.Scanned++
+		if !valid(rec) {
+			res.InvalidRecords++
+			sh.Inc(metrics.RecoveryInvalidRecords)
+			res.QuarantinedFrom = off
+			res.QuarantinedBytes = r.End() - off
+			sh.Add(metrics.QuarantinedBytes, uint64(res.QuarantinedBytes))
+			res.IncompleteTail += len(batch)
+			return res
+		}
+		if rec.Seg != o.Data {
+			res.Skipped++
+			continue
+		}
+		if !o.ApplyAll && rec.SegOff < o.MarkerLimit {
+			if rec.Value&MarkerCommit != 0 {
+				res.LastSeq = rec.Value &^ MarkerCommit
+				res.Txns++
+				for _, b := range batch {
+					apply(&res, sh, o.Dst, b)
+				}
+				batch = batch[:0]
+			} else {
+				// A begin marker after an uncommitted transaction drops
+				// that transaction's buffered writes.
+				batch = batch[:0]
+			}
+			continue
+		}
+		if o.ApplyAll {
+			apply(&res, sh, o.Dst, rec)
+		} else {
+			batch = append(batch, rec)
+		}
+	}
+	res.IncompleteTail += len(batch)
+	return res
+}
+
+// apply writes one record into dst and accounts for it.
+func apply(res *Result, sh *metrics.Shard, dst *core.Segment, rec core.Record) {
+	if dst != nil {
+		rec.Apply(dst)
+	}
+	res.Applied++
+	sh.Inc(metrics.RecoveryRecordsApplied)
+}
+
+// valid rejects records that cannot be real logged writes: a write size
+// the hardware never emits, an address that no longer resolves, a
+// misaligned offset, a range leaving the segment, or a "write" into a
+// log segment (the logger never logs its own log).
+func valid(rec core.Record) bool {
+	switch rec.WriteSize {
+	case 1, 2, 4:
+	default:
+		return false
+	}
+	if rec.Seg == nil {
+		return false
+	}
+	ws := uint32(rec.WriteSize)
+	if rec.SegOff%ws != 0 {
+		return false
+	}
+	if rec.SegOff+ws > rec.Seg.Size() {
+		return false
+	}
+	if rec.Seg.IsLog() {
+		return false
+	}
+	return true
+}
+
+// Policy bounds the retry loop of a RetryDisk.
+type Policy struct {
+	// Attempts is the total number of tries per operation (default 5).
+	Attempts int
+	// BackoffCycles is the simulated-cycle delay before the first
+	// retry; it doubles per retry (default 256).
+	BackoffCycles uint64
+}
+
+// DefaultPolicy returns the default retry policy.
+func DefaultPolicy() Policy { return Policy{Attempts: 5, BackoffCycles: 256} }
+
+// RetryDisk wraps a ramdisk.Device with bounded retry-with-backoff for
+// transient errors. Backoff is charged to the calling CPU's simulated
+// clock (when one is given), so retries cost deterministic simulated
+// time, not host time.
+type RetryDisk struct {
+	inner ramdisk.Device
+	pol   Policy
+	sh    *metrics.Shard
+
+	// Retries counts individual retry attempts; Exhausted counts
+	// operations that failed even after all attempts.
+	Retries   uint64
+	Exhausted uint64
+}
+
+// NewRetryDisk wraps inner. pol == nil uses DefaultPolicy; sh (may be
+// nil) receives RecoveryRetries increments.
+func NewRetryDisk(inner ramdisk.Device, pol *Policy, sh *metrics.Shard) *RetryDisk {
+	p := DefaultPolicy()
+	if pol != nil {
+		p = *pol
+		if p.Attempts <= 0 {
+			p.Attempts = 5
+		}
+		if p.BackoffCycles == 0 {
+			p.BackoffCycles = 256
+		}
+	}
+	return &RetryDisk{inner: inner, pol: p, sh: sh}
+}
+
+// TryReadAt implements ramdisk.Device.
+func (d *RetryDisk) TryReadAt(cpu *machine.CPU, off uint64, out []byte) error {
+	return d.do(cpu, "read", func() error { return d.inner.TryReadAt(cpu, off, out) })
+}
+
+// TryWriteAt implements ramdisk.Device.
+func (d *RetryDisk) TryWriteAt(cpu *machine.CPU, off uint64, b []byte) error {
+	return d.do(cpu, "write", func() error { return d.inner.TryWriteAt(cpu, off, b) })
+}
+
+// TrySync implements ramdisk.Device.
+func (d *RetryDisk) TrySync(cpu *machine.CPU) error {
+	return d.do(cpu, "sync", func() error { return d.inner.TrySync(cpu) })
+}
+
+func (d *RetryDisk) do(cpu *machine.CPU, name string, op func() error) error {
+	back := d.pol.BackoffCycles
+	var err error
+	for a := 0; a < d.pol.Attempts; a++ {
+		if a > 0 {
+			d.Retries++
+			if d.sh != nil {
+				d.sh.Inc(metrics.RecoveryRetries)
+			}
+			if cpu != nil {
+				cpu.Compute(back)
+			}
+			back *= 2
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	d.Exhausted++
+	return fmt.Errorf("recovery: disk %s failed after %d attempts: %w", name, d.pol.Attempts, err)
+}

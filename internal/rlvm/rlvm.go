@@ -46,6 +46,7 @@ type Options struct {
 type Stats struct {
 	Txns         uint64
 	Records      uint64 // LVM log records consumed at commit
+	BadRecords   uint64 // records rejected by commit-time validation
 	InTxnCycles  uint64
 	CommitCycles uint64
 	TruncCycles  uint64
@@ -56,7 +57,7 @@ type Stats struct {
 type Manager struct {
 	sys  *core.System
 	p    *core.Process
-	disk *ramdisk.Disk
+	disk ramdisk.Device
 	wal  *rvm.WAL
 
 	ckpt *core.Segment // committed state (deferred-copy source)
@@ -81,8 +82,10 @@ type Manager struct {
 // New creates an RLVM recoverable segment of the given usable size (the
 // marker word is carved out of the front), recovers committed state from
 // disk, and binds the working region (logged) into the process's address
-// space.
-func New(sys *core.System, p *core.Process, size uint32, disk *ramdisk.Disk, opts Options) (*Manager, error) {
+// space. The disk is any ramdisk.Device — crash recovery passes a
+// retry-wrapped device so transient faults during the image load and log
+// scan are absorbed below this layer.
+func New(sys *core.System, p *core.Process, size uint32, disk ramdisk.Device, opts Options) (*Manager, error) {
 	if opts.TruncateEvery <= 0 {
 		opts.TruncateEvery = 8
 	}
@@ -116,7 +119,9 @@ func New(sys *core.System, p *core.Process, size uint32, disk *ramdisk.Disk, opt
 	// Recovery: image + committed redo records go into the checkpoint;
 	// the working segment then reads through.
 	img := make([]byte, total)
-	disk.ReadAt(nil, 0, img)
+	if err := disk.TryReadAt(nil, 0, img); err != nil {
+		return nil, fmt.Errorf("rlvm: image load: %w", err)
+	}
 	m.ckpt.RawWrite(0, img)
 	if err := m.wal.Scan(func(seq uint32, ranges []rvm.WALRange) {
 		m.seq = seq
@@ -140,6 +145,10 @@ func (m *Manager) Base() core.Addr { return m.base + MarkerBytes }
 
 // Segment returns the working segment.
 func (m *Manager) Segment() *core.Segment { return m.seg }
+
+// LogSegment returns the LVM log segment backing the working region (the
+// fault injector arms its DMA perturbations against it).
+func (m *Manager) LogSegment() *core.Segment { return m.ls }
 
 // markerVA is the logged transaction-identifier word.
 func (m *Manager) markerVA() core.Addr { return m.base }
@@ -195,11 +204,24 @@ func (m *Manager) Commit() error {
 		if rec.Seg != m.seg {
 			continue
 		}
-		recs = append(recs, rvm.WALRange{Off: rec.SegOff, Data: rec.ValueBytes()})
+		val := rec.ValueBytes()
+		if uint64(rec.SegOff)+uint64(len(val)) > uint64(m.size) {
+			// A record whose range leaves the segment cannot be a real
+			// logged write (corrupted addr/size bits): skip it rather
+			// than let it wreck the checkpoint.
+			m.Stats.BadRecords++
+			continue
+		}
+		recs = append(recs, rvm.WALRange{Off: rec.SegOff, Data: val})
 		// Roll the checkpoint forward (CULT for the committed txn).
-		m.ckpt.RawWrite(rec.SegOff, rec.ValueBytes())
+		m.ckpt.RawWrite(rec.SegOff, val)
 	}
-	m.wal.AppendCommit(m.p.CPU, m.seq, recs)
+	if err := m.wal.AppendCommit(m.p.CPU, m.seq, recs); err != nil {
+		// The commit never became durable; the transaction stays open and
+		// the checkpoint roll-forward is undone at the next recovery (the
+		// checkpoint is volatile — disk state is untouched).
+		return err
+	}
 	m.dirtyImage = append(m.dirtyImage, recs...)
 	m.p.Compute(cycles.TxnMgmtCycles / 2)
 	m.commitOff = r.Offset()
@@ -213,7 +235,9 @@ func (m *Manager) Commit() error {
 	m.commits++
 	m.Stats.CommitCycles += m.p.Now() - commitStart
 	if m.commits%m.opts.TruncateEvery == 0 {
-		m.Truncate()
+		if err := m.Truncate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -237,22 +261,30 @@ func (m *Manager) Abort() error {
 }
 
 // Truncate applies committed updates to the durable image, resets the
-// write-ahead log, and truncates the LVM log segment.
-func (m *Manager) Truncate() {
+// write-ahead log, and truncates the LVM log segment. On a device error
+// the write-ahead log keeps its records, so nothing committed is lost.
+func (m *Manager) Truncate() error {
 	start := m.p.Now()
 	// One scatter-gather device operation for the image update.
 	var bytes uint64
 	for _, r := range m.dirtyImage {
-		m.disk.WriteAt(nil, uint64(r.Off), r.Data)
+		if err := m.disk.TryWriteAt(nil, uint64(r.Off), r.Data); err != nil {
+			return fmt.Errorf("rlvm: truncate image write: %w", err)
+		}
 		bytes += uint64(len(r.Data))
 	}
 	blocks := (bytes + ramdisk.BlockSize - 1) / ramdisk.BlockSize
 	m.p.Compute(ramdisk.OpCycles + blocks*ramdisk.BlockCycles)
-	m.disk.Sync(m.p.CPU)
+	if err := m.disk.TrySync(m.p.CPU); err != nil {
+		return fmt.Errorf("rlvm: truncate sync: %w", err)
+	}
 	m.dirtyImage = m.dirtyImage[:0]
-	m.wal.Reset(m.p.CPU)
+	if err := m.wal.Reset(m.p.CPU); err != nil {
+		return err
+	}
 	if err := m.sys.K.TruncateLog(m.ls); err == nil {
 		m.commitOff = 0
 	}
 	m.Stats.TruncCycles += m.p.Now() - start
+	return nil
 }

@@ -82,7 +82,7 @@ func TestAbortRewindsLog(t *testing.T) {
 	}
 }
 
-func ramdiskOf(m *Manager) *ramdisk.Disk { return m.disk }
+func ramdiskOf(m *Manager) ramdisk.Device { return m.disk }
 
 func TestRecoveryReplaysCommitted(t *testing.T) {
 	sys, _, d, m := setup(t)

@@ -32,7 +32,7 @@ type Stats struct {
 type Manager struct {
 	sys  *core.System
 	p    *core.Process
-	disk *ramdisk.Disk
+	disk ramdisk.Device
 	wal  *WAL
 
 	seg  *core.Segment
@@ -67,8 +67,10 @@ func walBase(size uint32) uint64 {
 // New creates a recoverable segment of the given size backed by disk,
 // recovers its contents (image + committed log records), and binds it into
 // the process's address space. The region is NOT logged: RVM is the
-// application-level baseline.
-func New(sys *core.System, p *core.Process, size uint32, disk *ramdisk.Disk, opts Options) (*Manager, error) {
+// application-level baseline. The disk is any ramdisk.Device — crash
+// recovery passes a retry-wrapped device so transient faults during the
+// image load and log scan are absorbed below this layer.
+func New(sys *core.System, p *core.Process, size uint32, disk ramdisk.Device, opts Options) (*Manager, error) {
 	if opts.TruncateEvery <= 0 {
 		opts.TruncateEvery = 8
 	}
@@ -89,7 +91,9 @@ func New(sys *core.System, p *core.Process, size uint32, disk *ramdisk.Disk, opt
 	m.base = base
 	// Recovery: load the image, then replay committed transactions.
 	img := make([]byte, size)
-	disk.ReadAt(nil, imageBase(), img)
+	if err := disk.TryReadAt(nil, imageBase(), img); err != nil {
+		return nil, fmt.Errorf("rvm: image load: %w", err)
+	}
 	m.seg.RawWrite(0, img)
 	if err := m.wal.Scan(func(seq uint32, ranges []WALRange) {
 		m.seq = seq
@@ -159,14 +163,22 @@ func (m *Manager) Commit() error {
 		m.p.Compute(cycles.CommitPerRangeCycles)
 		recs = append(recs, WALRange{Off: r.off, Data: m.seg.RawRead(r.off, uint32(len(r.old)))})
 	}
-	m.wal.AppendCommit(m.p.CPU, m.seq, recs)
+	if err := m.wal.AppendCommit(m.p.CPU, m.seq, recs); err != nil {
+		// The commit never became durable: the caller sees the failure
+		// with the transaction still open, exactly as a crashed commit
+		// looks to recovery.
+		m.seq--
+		return err
+	}
 	m.dirtyImage = append(m.dirtyImage, recs...)
 	m.p.Compute(cycles.TxnMgmtCycles / 2)
 	m.inTxn = false
 	m.commits++
 	m.Stats.CommitCycles += m.p.Now() - commitStart
 	if m.commits%m.opts.TruncateEvery == 0 {
-		m.Truncate()
+		if err := m.Truncate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -190,20 +202,28 @@ func (m *Manager) Abort() error {
 // Truncate applies the committed updates to the durable image and resets
 // the write-ahead log ("The rest is spent performing the commit and
 // truncating the log", Section 4.2). The image update is one
-// scatter-gather device operation.
-func (m *Manager) Truncate() {
+// scatter-gather device operation. On a device error the log is NOT
+// reset, so every committed update remains replayable.
+func (m *Manager) Truncate() error {
 	start := m.p.Now()
 	var bytes uint64
 	for _, r := range m.dirtyImage {
-		m.disk.WriteAt(nil, imageBase()+uint64(r.Off), r.Data)
+		if err := m.disk.TryWriteAt(nil, imageBase()+uint64(r.Off), r.Data); err != nil {
+			return fmt.Errorf("rvm: truncate image write: %w", err)
+		}
 		bytes += uint64(len(r.Data))
 	}
 	blocks := (bytes + ramdisk.BlockSize - 1) / ramdisk.BlockSize
 	m.p.Compute(ramdisk.OpCycles + blocks*ramdisk.BlockCycles)
-	m.disk.Sync(m.p.CPU)
+	if err := m.disk.TrySync(m.p.CPU); err != nil {
+		return fmt.Errorf("rvm: truncate sync: %w", err)
+	}
 	m.dirtyImage = m.dirtyImage[:0]
-	m.wal.Reset(m.p.CPU)
+	if err := m.wal.Reset(m.p.CPU); err != nil {
+		return err
+	}
 	m.Stats.TruncCycles += m.p.Now() - start
+	return nil
 }
 
 // RecoverableWrite32 is the canonical single recoverable write measured in

@@ -35,13 +35,13 @@ type WALRange struct {
 //	nRanges × { u32 off, u32 len, bytes },
 //	u32 endMagic
 type WAL struct {
-	disk *ramdisk.Disk
+	disk ramdisk.Device
 	base uint64 // byte offset of the log area on the disk
 	tail uint64 // next append offset, relative to base
 }
 
 // NewWAL creates a write-ahead log at the given disk offset.
-func NewWAL(d *ramdisk.Disk, base uint64) *WAL { return &WAL{disk: d, base: base} }
+func NewWAL(d ramdisk.Device, base uint64) *WAL { return &WAL{disk: d, base: base} }
 
 // Tail reports the current log size in bytes.
 func (w *WAL) Tail() uint64 { return w.tail }
@@ -50,8 +50,9 @@ func (w *WAL) Tail() uint64 { return w.tail }
 // is written first, then the commit seal (the trailing magic), then the
 // device is synced — the classic write-ahead discipline, and two device
 // operations plus a sync per commit, which is what makes commit dominate
-// TPC-A (Section 4.2).
-func (w *WAL) AppendCommit(cpu *machine.CPU, seq uint32, ranges []WALRange) {
+// TPC-A (Section 4.2). A device error leaves at worst a torn record,
+// which the recovery Scan ignores; the tail does not advance.
+func (w *WAL) AppendCommit(cpu *machine.CPU, seq uint32, ranges []WALRange) error {
 	size := 16
 	for _, r := range ranges {
 		size += 8 + len(r.Data)
@@ -65,26 +66,45 @@ func (w *WAL) AppendCommit(cpu *machine.CPU, seq uint32, ranges []WALRange) {
 		buf = le32(buf, uint32(len(r.Data)))
 		buf = append(buf, r.Data...)
 	}
-	w.disk.WriteAt(cpu, w.base+w.tail, buf)
+	if err := w.disk.TryWriteAt(cpu, w.base+w.tail, buf); err != nil {
+		return fmt.Errorf("rvm: wal append: %w", err)
+	}
 	var seal []byte
 	seal = le32(seal, walMagic)
-	w.disk.WriteAt(cpu, w.base+w.tail+uint64(len(buf)), seal)
-	w.disk.Sync(cpu)
+	if err := w.disk.TryWriteAt(cpu, w.base+w.tail+uint64(len(buf)), seal); err != nil {
+		return fmt.Errorf("rvm: wal seal: %w", err)
+	}
+	if err := w.disk.TrySync(cpu); err != nil {
+		return fmt.Errorf("rvm: wal sync: %w", err)
+	}
 	w.tail += uint64(len(buf)) + 4
+	return nil
 }
 
 // Scan replays every committed transaction in order, calling cb with its
 // sequence number and ranges. It stops at the first record that is absent
-// or torn (recovery semantics: an unfinished commit is ignored).
+// or torn (recovery semantics: an unfinished commit is ignored), and at
+// the first record whose sequence number does not increase: Reset only
+// overwrites the first header, so sealed records from the previous log
+// epoch survive past the new tail, and when record sizes line up the old
+// bytes parse as valid commits. Sequence numbers increase monotonically
+// across truncations, which makes stale epochs detectable.
 func (w *WAL) Scan(cb func(seq uint32, ranges []WALRange)) error {
 	off := uint64(0)
+	last, any := uint32(0), false
 	for {
 		var hdr [12]byte
-		w.disk.ReadAt(nil, w.base+off, hdr[:])
+		if err := w.disk.TryReadAt(nil, w.base+off, hdr[:]); err != nil {
+			return fmt.Errorf("rvm: wal scan header: %w", err)
+		}
 		if binary.LittleEndian.Uint32(hdr[0:]) != walMagic {
 			return nil
 		}
 		seq := binary.LittleEndian.Uint32(hdr[4:])
+		if any && seq <= last {
+			// Stale record from an earlier epoch, not a continuation.
+			return nil
+		}
 		n := binary.LittleEndian.Uint32(hdr[8:])
 		if n > 1<<20 {
 			return fmt.Errorf("rvm: implausible range count %d at %d", n, off)
@@ -93,35 +113,48 @@ func (w *WAL) Scan(cb func(seq uint32, ranges []WALRange)) error {
 		ranges := make([]WALRange, 0, n)
 		for i := uint32(0); i < n; i++ {
 			var rh [8]byte
-			w.disk.ReadAt(nil, w.base+pos, rh[:])
+			if err := w.disk.TryReadAt(nil, w.base+pos, rh[:]); err != nil {
+				return fmt.Errorf("rvm: wal scan range header: %w", err)
+			}
 			ro := binary.LittleEndian.Uint32(rh[0:])
 			rl := binary.LittleEndian.Uint32(rh[4:])
 			if rl > 1<<24 {
 				return fmt.Errorf("rvm: implausible range length %d", rl)
 			}
 			data := make([]byte, rl)
-			w.disk.ReadAt(nil, w.base+pos+8, data)
+			if err := w.disk.TryReadAt(nil, w.base+pos+8, data); err != nil {
+				return fmt.Errorf("rvm: wal scan range data: %w", err)
+			}
 			ranges = append(ranges, WALRange{Off: ro, Data: data})
 			pos += 8 + uint64(rl)
 		}
 		var end [4]byte
-		w.disk.ReadAt(nil, w.base+pos, end[:])
+		if err := w.disk.TryReadAt(nil, w.base+pos, end[:]); err != nil {
+			return fmt.Errorf("rvm: wal scan seal: %w", err)
+		}
 		if binary.LittleEndian.Uint32(end[:]) != walMagic {
 			// Torn commit: ignore it and everything after.
 			return nil
 		}
 		cb(seq, ranges)
+		last, any = seq, true
 		w.tail = pos + 4
 		off = w.tail
 	}
 }
 
-// Reset truncates the log: the image is assumed up to date.
-func (w *WAL) Reset(cpu *machine.CPU) {
+// Reset truncates the log: the image is assumed up to date. On error the
+// log keeps its contents — replaying it again is idempotent.
+func (w *WAL) Reset(cpu *machine.CPU) error {
 	// Overwrite the first header so Scan stops immediately.
-	w.disk.WriteAt(cpu, w.base, make([]byte, 4))
-	w.disk.Sync(cpu)
+	if err := w.disk.TryWriteAt(cpu, w.base, make([]byte, 4)); err != nil {
+		return fmt.Errorf("rvm: wal reset: %w", err)
+	}
+	if err := w.disk.TrySync(cpu); err != nil {
+		return fmt.Errorf("rvm: wal reset sync: %w", err)
+	}
 	w.tail = 0
+	return nil
 }
 
 func le32(b []byte, v uint32) []byte {

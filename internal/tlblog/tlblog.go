@@ -60,6 +60,15 @@ type Logger struct {
 	// drop further records for that log.
 	OnFull func(l *Logger, logIndex uint16) bool
 
+	// DMAHook, when non-nil, observes each record just before it is
+	// written to memory at dst; it may mutate the record or return
+	// drop=true to lose it. Fault-injection insertion point, mirroring
+	// hwlogger.Logger.DMAHook.
+	DMAHook func(rec *logrec.Record, dst phys.Addr) (drop bool)
+	// hookRec is the scratch record handed to DMAHook (keeps the drain
+	// path allocation-free; see hwlogger.Logger.hookRec).
+	hookRec logrec.Record
+
 	// WriteBuffer is the stall threshold (entries buffered on chip).
 	WriteBuffer int
 
@@ -246,6 +255,15 @@ func (l *Logger) serviceOne() {
 		WriteSize: e.Size,
 		CPU:       e.CPU,
 		Timestamp: cycles.ToTimestamp(e.Time),
+	}
+	if l.DMAHook != nil {
+		l.hookRec = rec
+		if l.DMAHook(&l.hookRec, d.Addr) {
+			l.recordLost()
+			l.freeAt = complete
+			return
+		}
+		rec = l.hookRec
 	}
 	var buf [logrec.Size]byte
 	rec.Encode(buf[:])

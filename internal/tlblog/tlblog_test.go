@@ -151,3 +151,35 @@ func TestUnmapPage(t *testing.T) {
 		t.Fatalf("unmapped page still logged")
 	}
 }
+
+// TestDMAHookDropAndCorrupt mirrors the hwlogger fault-injection contract
+// on the on-chip unit: a drop is tallied as a lost record and does not
+// advance the descriptor; an in-place mutation lands in memory.
+func TestDMAHookDropAndCorrupt(t *testing.T) {
+	l, mem := newRig(t)
+	l.MapPage(0, 0)
+	l.SetDescriptor(0, 0x2000, 0x3000)
+	l.DMAHook = func(rec *logrec.Record, dst phys.Addr) bool {
+		if rec.Value == 2 {
+			return true // drop
+		}
+		if rec.Value == 3 {
+			rec.Value = 0x30003
+		}
+		return false
+	}
+	for i := uint32(1); i <= 3; i++ {
+		l.Snoop(machine.LoggedWrite{VAddr: 4 * i, Value: i, Size: 4, Time: uint64(i * 10)})
+	}
+	l.DrainAll()
+	if l.RecordsWritten != 2 || l.RecordsLost != 1 {
+		t.Fatalf("written=%d lost=%d, want 2/1", l.RecordsWritten, l.RecordsLost)
+	}
+	recs := logrec.DecodeAll(mem.Frame(2)[:2*logrec.Size])
+	if recs[0].Value != 1 || recs[1].Value != 0x30003 {
+		t.Fatalf("records = %v, want value 1 then corrupted 0x30003 (dense)", recs)
+	}
+	if d := l.Descriptor(0); d.Addr != 0x2000+2*logrec.Size {
+		t.Fatalf("descriptor = %#x, dropped record must not advance it", d.Addr)
+	}
+}

@@ -95,6 +95,29 @@ func newLayout(cfg Config) layout {
 	return l
 }
 
+// Layout is the public view of the TPC-A region layout, for harnesses
+// (e.g. the crashtest driver) that drive the TPC-A access pattern
+// themselves instead of calling RunRVM/RunRLVM.
+type Layout struct {
+	BranchOff, TellerOff, AccountOff, HistoryOff uint32
+	BalanceRecBytes, HistoryRecBytes             uint32
+	Size                                         uint32
+}
+
+// NewLayout computes the region layout for a configuration.
+func NewLayout(cfg Config) Layout {
+	l := newLayout(cfg)
+	return Layout{
+		BranchOff:       l.branchOff,
+		TellerOff:       l.tellerOff,
+		AccountOff:      l.accountOff,
+		HistoryOff:      l.historyOff,
+		BalanceRecBytes: balanceRecBytes,
+		HistoryRecBytes: historyRecBytes,
+		Size:            l.size,
+	}
+}
+
 // rng is a small deterministic generator (xorshift64*), independent of the
 // host's math/rand for reproducibility.
 type rng struct{ s uint64 }

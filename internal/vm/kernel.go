@@ -124,13 +124,21 @@ func (k *Kernel) collectStats(emit func(name string, v uint64)) {
 	var lost uint64
 	for _, s := range k.segments {
 		if s.isLog {
-			lost += s.lostRecords
+			// LostRecords, not the raw field: an actively absorbing log's
+			// in-flight loss lives in the hardware head until accounted.
+			lost += s.LostRecords()
 		}
 	}
 	emit("vm.log_records_lost_absorbed", lost)
 	emit("vm.segments", uint64(len(k.segments)))
 	emit("vm.address_spaces", uint64(k.addressSpaces))
 	emit("vm.kernel_overloads", k.Overloads)
+	if k.Log != nil {
+		// Device-side loss and overload-resume accounting, counted in the
+		// logger's own stats fields but previously absent from snapshots.
+		emit("hwlogger.records_lost_total", k.Log.RecordsLost)
+		emit("hwlogger.overload_resume_cycles", k.Log.StallCycles)
+	}
 }
 
 // allocLogIndex reserves a hardware log-table slot.

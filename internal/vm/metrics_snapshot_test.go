@@ -1,0 +1,66 @@
+package vm
+
+import (
+	"testing"
+
+	"lvm/internal/logrec"
+	"lvm/internal/phys"
+)
+
+// TestSnapshotExposesLoggerLossAndOverloadCycles pins the snapshot keys
+// that surface the hardware logger's lost-record and overload-resume
+// accounting: both counters existed as Logger stats fields but were
+// invisible to MetricsSnapshot consumers before the collector emitted
+// them.
+func TestSnapshotExposesLoggerLossAndOverloadCycles(t *testing.T) {
+	k := testKernel()
+	_, _, _, p, base := setupLogged(t, k, 1, 64)
+
+	// One dropped DMA (the fault injector's loss path) feeds
+	// records_lost_total.
+	dropped := false
+	k.Log.DMAHook = func(rec *logrec.Record, dst phys.Addr) bool {
+		if !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	// Zero-compute logged stores overload the FIFO, which feeds
+	// overload_resume_cycles (CPU cycles lost to overload drains).
+	for i := uint32(0); i < 2000; i++ {
+		p.Store32(base+(i%1024)*4, i)
+	}
+	k.Sync()
+	k.Log.DMAHook = nil
+	if k.Overloads == 0 {
+		t.Fatalf("workload did not overload; the test needs at least one drain")
+	}
+
+	snap := k.M.Metrics.Snapshot()
+	if got := snap.Counters["hwlogger.records_lost_total"]; got != k.Log.RecordsLost || got == 0 {
+		t.Fatalf("records_lost_total = %d, want the logger's %d (non-zero)", got, k.Log.RecordsLost)
+	}
+	if got := snap.Counters["hwlogger.overload_resume_cycles"]; got != k.Log.StallCycles || got == 0 {
+		t.Fatalf("overload_resume_cycles = %d, want the logger's %d (non-zero)", got, k.Log.StallCycles)
+	}
+}
+
+// TestSnapshotCountsAbsorbedLoss: records lost to log overflow (absorb
+// mode) appear under vm.log_records_lost_absorbed.
+func TestSnapshotCountsAbsorbedLoss(t *testing.T) {
+	k := testKernel()
+	_, _, ls, p, base := setupLogged(t, k, 1, 1) // one page = 256 records
+	for i := uint32(0); i < 300; i++ {
+		p.Compute(100)
+		p.Store32(base, i)
+	}
+	k.Sync()
+	if ls.LostRecords() == 0 {
+		t.Fatalf("no overflow loss; widen the workload")
+	}
+	snap := k.M.Metrics.Snapshot()
+	if got := snap.Counters["vm.log_records_lost_absorbed"]; got != ls.LostRecords() {
+		t.Fatalf("log_records_lost_absorbed = %d, want %d", got, ls.LostRecords())
+	}
+}
