@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"lvm/internal/core"
+	"lvm/internal/dsm"
+	"lvm/internal/logship"
+)
+
+// runLogship benches the log-shipping replication subsystem over the
+// in-memory transport: streaming throughput (records/sec shipped and
+// acknowledged) and release latency (ReleaseShip round trip) as the
+// replica count grows. This is host-side wall-clock measurement, like
+// bench-json: it characterizes the shipping implementation, not the
+// simulated machine.
+func runLogship(iters int) error {
+	const segSize = 8 * core.PageSize
+	if iters < 100 {
+		iters = 100
+	}
+	fmt.Printf("%-10s %14s %14s %14s\n", "replicas", "records/sec", "release avg", "release p-max")
+	for _, replicas := range []int{0, 1, 2, 4, 8} {
+		ln, dial := logship.NewMemTransport()
+		sys := core.NewSystem(core.Config{NumCPUs: 2, MemFrames: 8192})
+		p := sys.NewProcess(0, sys.NewAddressSpace())
+		prod, err := dsm.NewLVMProducer(sys, p, segSize, 256)
+		if err != nil {
+			return err
+		}
+		ship := logship.NewShipper(sys, prod.Segment(), prod.LogSegment(), ln, logship.Config{})
+		var reps []*logship.Replica
+		for i := 0; i < replicas; i++ {
+			r, err := logship.NewReplica(dial, segSize)
+			if err != nil {
+				return err
+			}
+			if err := r.Connect(); err != nil {
+				return err
+			}
+			reps = append(reps, r)
+		}
+
+		// Streaming throughput: released in bursts so batching engages.
+		const burst = 64
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			prod.Write(uint32(i*28)%segSize&^3, uint32(0xB000+i))
+			if i%burst == burst-1 {
+				if err := ship.ReleaseShip(10 * time.Second); err != nil {
+					return err
+				}
+			}
+		}
+		if err := ship.ReleaseShip(10 * time.Second); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+
+		// Release latency: a tiny write set per release isolates the
+		// flush + ack round trip from batching throughput.
+		var worst time.Duration
+		relIters := iters / 10
+		relStart := time.Now()
+		for i := 0; i < relIters; i++ {
+			prod.Write(uint32(i*4)%segSize, uint32(i))
+			t0 := time.Now()
+			if err := ship.ReleaseShip(10 * time.Second); err != nil {
+				return err
+			}
+			if d := time.Since(t0); d > worst {
+				worst = d
+			}
+		}
+		relAvg := time.Since(relStart) / time.Duration(relIters)
+
+		for i, r := range reps {
+			if err := dsm.Verify(prod.Segment(), r.Consumer(), segSize); err != nil {
+				return fmt.Errorf("replica %d diverged: %w", i, err)
+			}
+			r.Kill()
+		}
+		if err := ship.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%-10d %14.0f %14s %14s\n", replicas,
+			float64(iters)/elapsed.Seconds(), relAvg.Round(time.Microsecond), worst.Round(time.Microsecond))
+	}
+	fmt.Println("\n(records/sec = logged writes streamed and acknowledged by every replica;")
+	fmt.Println(" release avg/p-max = ReleaseShip round trip: flush + every replica acks)")
+	return nil
+}

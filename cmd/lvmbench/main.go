@@ -95,7 +95,8 @@ Experiments (paper table/figure each regenerates):
   stats                 dump the metrics counter/histogram/trace snapshot
   bench-json            write BENCH_lvm.json (host-side simulator perf baseline)
   crashtest             seeded fault-injection + crash-recovery matrix (-seeds, -short)
-  all                   everything above (except bench-json and crashtest)
+  logship               log-shipping replication bench: records/sec + release latency vs replicas (-iters)
+  all                   everything above (except bench-json, crashtest and logship)
 
 Flags:
 `)
@@ -216,6 +217,9 @@ func run(name string) error {
 	case "crashtest":
 		banner("Crash-recovery fault matrix (seeded, deterministic)")
 		return runCrashtest(*seeds, *short)
+	case "logship":
+		banner("Log-shipping replication: throughput and release latency vs replica count")
+		return runLogship(*iters)
 	case "extension-oodb":
 		banner("Extension: object database, RLVM speedup vs transaction length (Section 4.2 prediction)")
 		pts, err := experiments.OODB(nil, *txns/8)

@@ -35,6 +35,12 @@ const (
 	// RecordCycles is the per-log-record cost of building an update
 	// entry from the LVM log.
 	RecordCycles = 40
+	// SkipCycles is the per-record cost of recognizing and skipping a
+	// record that belongs to another segment sharing the log: the
+	// consumer still decodes the record and resolves its address, but
+	// builds no entry. Charged instead of RecordCycles, never on top of
+	// it.
+	SkipCycles = 8
 	// ApplyWordCycles is the consumer-side per-entry application cost.
 	ApplyWordCycles = 6
 	// MsgHeaderBytes and EntryBytes define the update-message encoding:
@@ -194,6 +200,13 @@ func NewLVMProducer(sys *core.System, p *core.Process, size uint32, logPages uin
 // Base returns the region base.
 func (l *LVMProducer) Base() core.Addr { return l.base }
 
+// Segment exposes the shared data segment (for shipping/verification).
+func (l *LVMProducer) Segment() *core.Segment { return l.seg }
+
+// LogSegment exposes the log segment the shared writes land in, so a
+// replication layer (internal/logship) can ship its records.
+func (l *LVMProducer) LogSegment() *core.Segment { return l.ls }
+
 // WriteCycles reports cycles spent in Write.
 func (l *LVMProducer) WriteCycles() uint64 { return l.writeCycles }
 
@@ -215,25 +228,39 @@ func (l *LVMProducer) Release() (UpdateMsg, ReleaseStats) {
 		if !ok {
 			break
 		}
-		l.p.Compute(RecordCycles)
 		if rec.Seg != l.seg {
+			// Records from other segments sharing this log cost only
+			// the skip, not a full entry build.
+			l.p.Compute(SkipCycles)
 			continue
 		}
-		msg.Entries = append(msg.Entries, Entry{Off: rec.SegOff &^ 3, Val: wordOf(rec)})
+		l.p.Compute(RecordCycles)
+		w := rec.SegOff &^ 3
+		msg.Entries = append(msg.Entries, Entry{Off: w, Val: mergeWord(l.seg.Read32(w), rec)})
 	}
 	msg.Bytes = MsgHeaderBytes + len(msg.Entries)*EntryBytes
 	st := ReleaseStats{Cycles: l.p.Now() - start, Bytes: msg.Bytes, Entries: len(msg.Entries)}
 	return msg, st
 }
 
-// wordOf widens a sub-word record to its containing word's value.
-func wordOf(rec core.Record) uint32 {
-	if rec.WriteSize == 4 {
+// mergeWord widens a record to its containing word by overlaying the
+// record's value bytes onto prev, the word's contents *before* this
+// write. For a consumer, prev is the replica's current word, so applying
+// a backlog reconstructs each point-in-time value instead of reading the
+// producer segment's current word — which would transiently install
+// values from writes that come later in the log.
+func mergeWord(prev uint32, rec core.Record) uint32 {
+	var mask uint32
+	switch rec.WriteSize {
+	case 1:
+		mask = 0xFF
+	case 2:
+		mask = 0xFFFF
+	default:
 		return rec.Value
 	}
-	// Read the containing word from the segment (it already holds the
-	// final value of this write).
-	return rec.Seg.Read32(rec.SegOff &^ 3)
+	shift := (rec.SegOff & 3) * 8
+	return prev&^(mask<<shift) | (rec.Value&mask)<<shift
 }
 
 // Consumer holds a replicated copy and applies update messages.
@@ -267,6 +294,26 @@ func (c *Consumer) Apply(msg UpdateMsg) {
 	}
 	c.ApplyCycles += c.p.Now() - start
 	c.BytesRecv += uint64(msg.Bytes)
+}
+
+// ApplyRecord applies one shipped log record to the replica: the write's
+// value bytes land at their segment offset, so sub-word writes merge into
+// the replica's prior contents exactly as the original store did. This is
+// the apply path of the logship replication layer; validation (size,
+// alignment, bounds) is the caller's job (recovery.ValidWrite).
+func (c *Consumer) ApplyRecord(off uint32, val uint32, size uint16) {
+	start := c.p.Now()
+	c.p.Compute(ApplyWordCycles)
+	var b [4]byte
+	n := int(size)
+	if n > 4 {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		b[i] = byte(val >> (8 * i))
+	}
+	c.seg.RawWrite(off, b[:n])
+	c.ApplyCycles += c.p.Now() - start
 }
 
 // Word reads one replica word (raw).
@@ -327,10 +374,17 @@ func NewStreamingConsumer(sys *core.System, p *core.Process, prod *LVMProducer, 
 
 // Pull consumes any records logged since the last Pull, applying them to
 // the replica. It returns how many updates arrived.
-func (s *StreamingConsumer) Pull() int {
+func (s *StreamingConsumer) Pull() int { return s.PullN(-1) }
+
+// PullN consumes at most max log records (all of them if max < 0),
+// applying those that belong to the shared segment. A bounded pull models
+// a consumer that lags the producer: the replica must hold point-in-time
+// values, so sub-word records are widened against the replica's own prior
+// contents, never against the producer's (possibly newer) segment.
+func (s *StreamingConsumer) PullN(max int) int {
 	s.reader.Sync()
 	n := 0
-	for {
+	for scanned := 0; max < 0 || scanned < max; scanned++ {
 		rec, ok := s.reader.Next()
 		if !ok {
 			break
@@ -339,7 +393,8 @@ func (s *StreamingConsumer) Pull() int {
 			continue
 		}
 		s.p.Compute(ApplyWordCycles)
-		s.seg.Write32(rec.SegOff&^3, wordOf(rec))
+		w := rec.SegOff &^ 3
+		s.seg.Write32(w, mergeWord(s.seg.Read32(w), rec))
 		n++
 	}
 	s.Pulls++
@@ -351,11 +406,13 @@ func (s *StreamingConsumer) Pull() int {
 // ReleaseStreaming finalizes a critical section against a streaming
 // consumer: one last Pull covers whatever the consumer had not yet seen
 // (the backlog), and the producer's cost is only the synchronization.
-func (p *LVMProducer) ReleaseStreaming(c *StreamingConsumer) (backlog int, producerCycles uint64) {
+func (p *LVMProducer) ReleaseStreaming(c *StreamingConsumer) (backlog int, producerCycles uint64, err error) {
 	start := p.p.Now()
 	p.reader.Sync() // the producer synchronizes on the end of the log
-	p.reader.Seek(p.sys.K.LogAppendOffset(p.ls))
+	if err := p.reader.Seek(p.sys.K.LogAppendOffset(p.ls)); err != nil {
+		return 0, p.p.Now() - start, err
+	}
 	producerCycles = p.p.Now() - start
 	backlog = c.Pull()
-	return backlog, producerCycles
+	return backlog, producerCycles, nil
 }

@@ -1,0 +1,163 @@
+package dsm
+
+import (
+	"testing"
+
+	"lvm/internal/core"
+)
+
+// TestReleaseChargesOnlyOwnRecords pins the Release cost model when a
+// second logged segment shares the producer's log: foreign records must
+// cost SkipCycles, not RecordCycles — previously every record in the log
+// was charged RecordCycles before the ownership filter, inflating the
+// producer's release cost by records it never shipped.
+func TestReleaseChargesOnlyOwnRecords(t *testing.T) {
+	const own, foreign = 25, 75
+
+	// Baseline: a producer alone in its log.
+	sysA := newSys()
+	pa := sysA.NewProcess(0, sysA.NewAddressSpace())
+	alone, err := NewLVMProducer(sysA, pa, shared, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < own; i++ {
+		alone.Write(i*8, i)
+	}
+	_, stAlone := alone.Release()
+
+	// Same producer workload, but another logged segment shares the log
+	// and writes 3x as many records into it.
+	sysB := newSys()
+	pb := sysB.NewProcess(0, sysB.NewAddressSpace())
+	prod, err := NewLVMProducer(sysB, pb, shared, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := core.NewNamedSegment(sysB, "other", shared, nil)
+	reg := core.NewStdRegion(sysB, other)
+	if err := reg.Log(prod.ls); err != nil {
+		t.Fatal(err)
+	}
+	obase, err := reg.Bind(pb.AS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < own; i++ {
+		prod.Write(i*8, i)
+	}
+	for i := uint32(0); i < foreign; i++ {
+		pb.Store32(obase+(i*8)%shared, 0xF000+i)
+	}
+	_, st := prod.Release()
+
+	if st.Entries != own {
+		t.Fatalf("entries = %d, want %d (foreign records leaked into the message)", st.Entries, own)
+	}
+	// The foreign records may cost at most SkipCycles each on top of the
+	// baseline release (plus a little page-fault noise from the second
+	// segment's first touches, which happens in Write, not Release).
+	maxDelta := uint64(foreign * SkipCycles)
+	if st.Cycles > stAlone.Cycles+maxDelta {
+		t.Fatalf("release with foreign records cost %d cycles, baseline %d + %d skip budget",
+			st.Cycles, stAlone.Cycles, maxDelta)
+	}
+	// And strictly below what the old accounting charged.
+	if st.Cycles >= stAlone.Cycles+uint64(foreign*RecordCycles) {
+		t.Fatalf("release cost %d still charges RecordCycles for foreign records", st.Cycles)
+	}
+}
+
+// TestLaggingConsumerSubWordWiden interleaves sub-word and full-word
+// writes to the same word across bounded Pulls: a consumer applying a
+// backlog one record at a time must reconstruct each point-in-time word
+// from the record value and its own prior contents. The old wordOf read
+// the producer segment's *current* word, transiently installing the later
+// full-word value while applying the earlier sub-word record.
+func TestLaggingConsumerSubWordWiden(t *testing.T) {
+	sys := newSys()
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	prod, err := NewLVMProducer(sys, p, shared, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewStreamingConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), prod, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.Store32(prod.Base()+16, 0x11111111)
+	if n := cons.Pull(); n != 1 {
+		t.Fatalf("initial pull = %d", n)
+	}
+
+	// Backlog: a sub-word write followed by a full-word write to the
+	// same word, both in the log before the consumer pulls again.
+	p.Store8(prod.Base()+17, 0xAB)
+	p.Store32(prod.Base()+16, 0x22222222)
+
+	// The lagging consumer drains one record at a time.
+	if n := cons.PullN(1); n != 1 {
+		t.Fatalf("bounded pull = %d", n)
+	}
+	if got := cons.Word(16); got != 0x1111AB11 {
+		t.Fatalf("after sub-word record, replica word = %#x, want 0x1111AB11 (future value leaked)", got)
+	}
+	if n := cons.PullN(1); n != 1 {
+		t.Fatalf("second bounded pull = %d", n)
+	}
+	if got := cons.Word(16); got != 0x22222222 {
+		t.Fatalf("after full-word record, replica word = %#x", got)
+	}
+	if err := Verify(prod.Segment(), cons.Consumer, shared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubWordBatchReleaseConverges covers the batch path with the same
+// interleaving: entries are applied in log order, so the final replica
+// state must match the producer even when sub-word and full-word writes
+// alternate on one word.
+func TestSubWordBatchReleaseConverges(t *testing.T) {
+	sys := newSys()
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	prod, err := NewLVMProducer(sys, p, shared, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Store8(prod.Base()+33, 0x5A) // sub-word before any full-word write
+	p.Store32(prod.Base()+32, 0xCAFEBABE)
+	p.Store16(prod.Base()+34, 0xBEEF)
+	msg, _ := prod.Release()
+	cons.Apply(msg)
+	if err := Verify(prod.Segment(), cons, shared); err != nil {
+		t.Fatal(err)
+	}
+	if got := cons.Word(32); got != 0xBEEFBABE {
+		t.Fatalf("word = %#x, want 0xBEEFBABE", got)
+	}
+}
+
+// TestApplyRecordMergesSubWord exercises the logship apply path on the
+// plain Consumer: record value bytes land at their offset, preserving the
+// replica's neighboring bytes.
+func TestApplyRecordMergesSubWord(t *testing.T) {
+	sys := newSys()
+	cons, err := NewConsumer(sys, sys.NewProcess(0, sys.NewAddressSpace()), shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons.ApplyRecord(40, 0xDDCCBBAA, 4)
+	cons.ApplyRecord(41, 0x17, 1)
+	cons.ApplyRecord(42, 0x2596, 2)
+	if got := cons.Word(40); got != 0x259617AA {
+		t.Fatalf("word = %#x, want 0x259617AA", got)
+	}
+	if cons.ApplyCycles == 0 {
+		t.Fatal("ApplyRecord charged no cycles")
+	}
+}

@@ -225,7 +225,10 @@ func TestStreamingConsumerReducesBacklog(t *testing.T) {
 			cons.Pull()
 		}
 	}
-	backlog, relCycles := prod.ReleaseStreaming(cons)
+	backlog, relCycles, err := prod.ReleaseStreaming(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if backlog >= 60 {
 		t.Fatalf("streaming left the whole backlog for release: %d", backlog)
 	}

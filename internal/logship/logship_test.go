@@ -1,0 +1,371 @@
+package logship
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"lvm/internal/core"
+	"lvm/internal/dsm"
+	"lvm/internal/logrec"
+)
+
+const shared = 8 * core.PageSize
+
+// newProducer builds a simulated machine with an LVM producer whose
+// writes append to a hardware log, plus a shipper serving ln.
+func newProducer(t *testing.T, ln net.Listener, cfg Config) (*core.System, *dsm.LVMProducer, *Shipper) {
+	t.Helper()
+	sys := core.NewSystem(core.Config{NumCPUs: 2, MemFrames: 8192})
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	prod, err := dsm.NewLVMProducer(sys, p, shared, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewShipper(sys, prod.Segment(), prod.LogSegment(), ln, cfg)
+	t.Cleanup(func() { s.Close() })
+	return sys, prod, s
+}
+
+func connectReplica(t *testing.T, dial DialFunc) *Replica {
+	t.Helper()
+	r, err := NewReplica(dial, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestShipKillReconnect is the acceptance scenario: a seeded workload
+// streams to two replicas over the deterministic in-memory transport,
+// one replica is killed mid-stream and reconnects, and both converge
+// byte-identical to the producer.
+func TestShipKillReconnect(t *testing.T) {
+	ln, dial := NewMemTransport()
+	sys, prod, ship := newProducer(t, ln, Config{FlushRecords: 8})
+	ra := connectReplica(t, dial)
+	rb := connectReplica(t, dial)
+
+	write := func(i uint32) { prod.Write((i*52)%shared&^3, 0xA000+i) }
+
+	// First tranche streams to both replicas.
+	for i := uint32(0); i < 60; i++ {
+		write(i)
+		if i%10 == 9 {
+			if err := ship.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := ship.ReleaseShip(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash replica B mid-stream; the producer keeps going.
+	rb.Kill()
+	bSeq := rb.LastSeq()
+	for i := uint32(60); i < 140; i++ {
+		write(i)
+		if i%10 == 9 {
+			if err := ship.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := ship.ReleaseShip(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// B rejoins from its last acked sequence and is caught up from the
+	// shipper's log, then both replicas synchronize on a final release.
+	if err := rb.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(140); i < 160; i++ {
+		write(i)
+	}
+	if err := ship.ReleaseShip(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, r := range map[string]*Replica{"A": ra, "B": rb} {
+		if err := dsm.Verify(prod.Segment(), r.Consumer(), shared); err != nil {
+			t.Fatalf("replica %s: %v", name, err)
+		}
+	}
+	if ship.Consumers() != 2 {
+		t.Fatalf("consumers = %d, want 2", ship.Consumers())
+	}
+	if bSeq == 0 {
+		t.Fatal("replica B never acked before the crash")
+	}
+	if got := ship.Stats.CatchupRecords.Load(); got == 0 {
+		t.Fatal("reconnect did not trigger catch-up")
+	}
+	if got := rb.Stats.Reconnects.Load(); got != 1 {
+		t.Fatalf("replica B reconnects = %d, want 1", got)
+	}
+
+	// Both sides' counters surface through the metrics registries.
+	snap := sys.MetricsSnapshot()
+	if snap.Counters["logship.batches_shipped"] == 0 {
+		t.Fatal("producer snapshot missing logship counters")
+	}
+	if rb.System().MetricsSnapshot().Counters["logship.replica_records_applied"] == 0 {
+		t.Fatal("replica snapshot missing logship counters")
+	}
+}
+
+// TestShipTCPSmoke runs one replica over real TCP loopback.
+func TestShipTCPSmoke(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	_, prod, ship := newProducer(t, ln, Config{})
+	r := connectReplica(t, TCPDialer(ln.Addr().String()))
+	for i := uint32(0); i < 200; i++ {
+		prod.Write((i*36)%shared&^3, 0xC000+i)
+	}
+	if err := ship.ReleaseShip(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := dsm.Verify(prod.Segment(), r.Consumer(), shared); err != nil {
+		t.Fatal(err)
+	}
+	r.Kill()
+}
+
+// stuckConsumer handshakes like a replica and then never reads again —
+// the pathological slow consumer the backpressure policy exists for.
+func stuckConsumer(t *testing.T, dial DialFunc) net.Conn {
+	t.Helper()
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if _, err := c.Write(encodeFrame(typeHello, encodeHello(hello{segSize: shared}))); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := readFrame(c); err != nil || typ != typeWelcome {
+		t.Fatalf("handshake: type %d err %v", typ, err)
+	}
+	return c
+}
+
+// TestBackpressureDrop: with PolicyDrop a consumer whose window is full
+// is disconnected instead of growing an unbounded backlog.
+func TestBackpressureDrop(t *testing.T) {
+	ln, dial := NewMemTransport()
+	_, prod, ship := newProducer(t, ln, Config{FlushRecords: 1, Window: 1, OnFull: PolicyDrop})
+	stuckConsumer(t, dial)
+
+	for i := uint32(0); i < 64 && ship.Stats.Drops.Load() == 0; i++ {
+		prod.Write(i*4, i)
+		if err := ship.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ship.Stats.Drops.Load() == 0 {
+		t.Fatal("stuck consumer was never dropped")
+	}
+	if err := ship.Flush(); err != nil { // sweeps the dead connection
+		t.Fatal(err)
+	}
+	if n := ship.Consumers(); n != 0 {
+		t.Fatalf("consumers = %d after drop, want 0", n)
+	}
+}
+
+// TestBackpressureStall: with PolicyStall the shipper waits for the
+// window, counts the stall, and drops the consumer only after the
+// timeout — release latency is bounded, memory always is.
+func TestBackpressureStall(t *testing.T) {
+	ln, dial := NewMemTransport()
+	_, prod, ship := newProducer(t, ln, Config{
+		FlushRecords: 1, Window: 1, OnFull: PolicyStall, StallTimeout: 20 * time.Millisecond,
+	})
+	stuckConsumer(t, dial)
+
+	for i := uint32(0); i < 64 && ship.Stats.Drops.Load() == 0; i++ {
+		prod.Write(i*4, i)
+		if err := ship.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ship.Stats.Stalls.Load() == 0 {
+		t.Fatal("full window never stalled the shipper")
+	}
+	if ship.Stats.Drops.Load() == 0 {
+		t.Fatal("stalled consumer was never dropped after the timeout")
+	}
+}
+
+// fakeServer accepts one replica connection and hands the test direct
+// control of the wire.
+func fakeServer(t *testing.T, ln net.Listener) net.Conn {
+	t.Helper()
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	typ, payload, err := readFrame(c)
+	if err != nil || typ != typeHello {
+		t.Fatalf("hello: type %d err %v", typ, err)
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(encodeFrame(typeWelcome, encodeWelcome(welcome{
+		startSeq: h.lastSeq, epoch: 1, segSize: h.segSize,
+	}))); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func encodeTestBatch(base, end uint64, recs ...logrec.Record) []byte {
+	var records []byte
+	var buf [logrec.Size]byte
+	for _, rec := range recs {
+		rec.Encode(buf[:])
+		records = append(records, buf[:]...)
+	}
+	return encodeFrame(typeBatch, encodeBatch(batchHeader{
+		baseSeq: base, endSeq: end, count: uint32(len(recs)),
+	}, records))
+}
+
+// TestReplicaQuarantinesCorruptFrame: a replica applies clean batches,
+// then a frame whose CRC fails ends the session unacked; the applied
+// prefix and acked cursor survive for the next connect.
+func TestReplicaQuarantinesCorruptFrame(t *testing.T) {
+	ln, dial := NewMemTransport()
+	r, err := NewReplica(dial, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- r.Connect() }()
+	c := fakeServer(t, ln)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	good := encodeTestBatch(0, 2,
+		logrec.Record{Addr: 16, Value: 0x11111111, WriteSize: 4},
+		logrec.Record{Addr: 17, Value: 0xAB, WriteSize: 1},
+	)
+	if _, err := c.Write(good); err != nil {
+		t.Fatal(err)
+	}
+	if typ, payload, err := readFrame(c); err != nil || typ != typeAck {
+		t.Fatalf("ack: type %d err %v", typ, err)
+	} else if seq, _ := decodeAck(payload); seq != 2 {
+		t.Fatalf("acked seq = %d, want 2", seq)
+	}
+
+	bad := encodeTestBatch(2, 3, logrec.Record{Addr: 20, Value: 0x22222222, WriteSize: 4})
+	bad[headerSize] ^= 0x01 // corrupt the payload under the CRC
+	if _, err := c.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	r.Kill() // joins the consume goroutine, which quarantined and exited
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("session error = %v, want ErrCorrupt", r.Err())
+	}
+	if r.LastSeq() != 2 {
+		t.Fatalf("lastSeq = %d, want 2 (corrupt frame must not ack)", r.LastSeq())
+	}
+	if got := r.Consumer().Word(16); got != 0x1111AB11 {
+		t.Fatalf("word 16 = %#x, want 0x1111AB11", got)
+	}
+	if r.Stats.QuarantinedFrames.Load() != 1 {
+		t.Fatalf("quarantined frames = %d, want 1", r.Stats.QuarantinedFrames.Load())
+	}
+}
+
+// TestReplicaQuarantinesInvalidRecord: a structurally valid frame whose
+// record fails the recovery validation rules stops the apply at the
+// damage; nothing past it lands and the batch is never acked.
+func TestReplicaQuarantinesInvalidRecord(t *testing.T) {
+	ln, dial := NewMemTransport()
+	r, err := NewReplica(dial, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- r.Connect() }()
+	c := fakeServer(t, ln)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	frame := encodeTestBatch(0, 3,
+		logrec.Record{Addr: 8, Value: 1, WriteSize: 4},
+		logrec.Record{Addr: shared + 64, Value: 2, WriteSize: 4}, // out of range
+		logrec.Record{Addr: 12, Value: 3, WriteSize: 4},
+	)
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	r.Kill()
+	if r.Err() == nil {
+		t.Fatal("invalid record did not end the session")
+	}
+	if r.LastSeq() != 0 {
+		t.Fatalf("lastSeq = %d, want 0", r.LastSeq())
+	}
+	if got := r.Consumer().Word(8); got != 1 {
+		t.Fatalf("record before the damage did not apply: word 8 = %#x", got)
+	}
+	if got := r.Consumer().Word(12); got != 0 {
+		t.Fatalf("record past the damage applied: word 12 = %#x", got)
+	}
+	if r.Stats.QuarantinedRecords.Load() != 2 {
+		t.Fatalf("quarantined records = %d, want 2", r.Stats.QuarantinedRecords.Load())
+	}
+}
+
+// TestRebaseForcesResync: after the producer rewinds its log generation,
+// a reconnecting replica's stale-epoch hello negotiates a full replay
+// from sequence zero, which converges because records apply in order.
+func TestRebaseForcesResync(t *testing.T) {
+	ln, dial := NewMemTransport()
+	_, prod, ship := newProducer(t, ln, Config{FlushRecords: 8})
+	r := connectReplica(t, dial)
+
+	for i := uint32(0); i < 50; i++ {
+		prod.Write((i*28)%shared&^3, 0xE000+i)
+	}
+	if err := ship.ReleaseShip(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r.Kill()
+	if r.LastSeq() == 0 {
+		t.Fatal("replica never acked")
+	}
+
+	if err := ship.Rebase(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ship.ReleaseShip(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := dsm.Verify(prod.Segment(), r.Consumer(), shared); err != nil {
+		t.Fatal(err)
+	}
+	if ship.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", ship.Epoch())
+	}
+}

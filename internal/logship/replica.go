@@ -1,0 +1,222 @@
+package logship
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"lvm/internal/core"
+	"lvm/internal/dsm"
+	"lvm/internal/logrec"
+	"lvm/internal/recovery"
+)
+
+// Replica is one log-shipping consumer: its own simulated System holding
+// a replica segment that converges on the producer's shared segment as
+// batches arrive. Records apply through the dsm.Consumer machinery and
+// are validated with the crash-recovery rules; a torn or corrupt frame
+// quarantines the session (nothing past the damage applies, the frame is
+// never acked), and the next Connect resumes from the last acknowledged
+// sequence — the shipper re-reads its log to catch the replica up, the
+// replication analogue of recovery.Replay over a surviving log.
+type Replica struct {
+	sys  *core.System
+	cons *dsm.Consumer
+	dial DialFunc
+	size uint32
+
+	// Session state. Written only by the consume goroutine; reads from
+	// other goroutines must wait for Done (Kill and Connect do).
+	lastSeq uint64
+	epoch   uint32
+	err     error
+
+	conn      net.Conn
+	done      chan struct{}
+	connected bool
+
+	// Stats surface in the replica System's MetricsSnapshot as
+	// logship.replica_* counters.
+	Stats ReplicaStats
+}
+
+// NewReplica builds a replica for a shared segment of the given size.
+// The replica owns a fresh single-CPU System; nothing is shared with the
+// producer but the wire.
+func NewReplica(dial DialFunc, size uint32) (*Replica, error) {
+	frames := int(size/core.PageSize) + 32
+	sys := core.NewSystem(core.Config{NumCPUs: 1, MemFrames: frames})
+	cons, err := dsm.NewConsumer(sys, sys.NewProcess(0, sys.NewAddressSpace()), size)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{sys: sys, cons: cons, dial: dial, size: size, done: closedChan()}
+	sys.Metrics().AddCollector(r.Stats.Collect)
+	return r, nil
+}
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// System exposes the replica's simulated machine (for metrics snapshots).
+func (r *Replica) System() *core.System { return r.sys }
+
+// Consumer exposes the replica state for verification (dsm.Verify).
+func (r *Replica) Consumer() *dsm.Consumer { return r.cons }
+
+// LastSeq reports the last acknowledged sequence. Call only while
+// disconnected (after Kill or a session end).
+func (r *Replica) LastSeq() uint64 { return r.lastSeq }
+
+// Err reports how the last session ended (nil for a clean Kill). Call
+// only while disconnected.
+func (r *Replica) Err() error { return r.err }
+
+// Connect dials the shipper, performs the handshake, and starts a
+// consume goroutine. A second Connect after a session ended resumes from
+// the last acknowledged sequence (counted as a reconnect); if the
+// shipper's log generation changed, the welcome forces a full resync
+// from sequence zero, which converges because records replay in order.
+func (r *Replica) Connect() error {
+	<-r.done // join any previous session
+	c, err := r.dial()
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	_ = c.SetDeadline(deadline)
+	if _, err := c.Write(encodeFrame(typeHello, encodeHello(hello{
+		lastSeq: r.lastSeq,
+		epoch:   r.epoch,
+		segSize: r.size,
+	}))); err != nil {
+		c.Close()
+		return err
+	}
+	typ, payload, err := readFrame(c)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	if typ != typeWelcome {
+		c.Close()
+		return fmt.Errorf("logship: handshake got frame type %d", typ)
+	}
+	w, err := decodeWelcome(payload)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	if w.segSize != r.size {
+		c.Close()
+		return fmt.Errorf("logship: shipper segment is %d bytes, replica is %d", w.segSize, r.size)
+	}
+	_ = c.SetDeadline(time.Time{})
+	if w.startSeq == 0 && (r.lastSeq > 0 || w.epoch != r.epoch) {
+		// Full resync under a new log generation: replaying from the
+		// log start in order converges the replica regardless of its
+		// current contents.
+		r.lastSeq = 0
+	}
+	r.epoch = w.epoch
+	if r.connected {
+		r.Stats.Reconnects.Add(1)
+	}
+	r.connected = true
+	r.err = nil
+	r.conn = c
+	r.done = make(chan struct{})
+	go r.consume(c)
+	return nil
+}
+
+// Kill abruptly drops the connection — the mid-stream crash of the
+// acceptance test — and joins the consume goroutine. The replica keeps
+// its segment and last acked sequence, exactly like a node whose state
+// survived on NVM; Connect brings it back and catches it up.
+func (r *Replica) Kill() {
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	<-r.done
+	r.conn = nil
+}
+
+// consume applies batches until the connection dies or a frame fails
+// validation.
+func (r *Replica) consume(c net.Conn) {
+	defer close(r.done)
+	defer c.Close()
+	for {
+		typ, payload, err := readFrame(c)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				r.Stats.QuarantinedFrames.Add(1)
+			}
+			r.err = err
+			return
+		}
+		r.Stats.BytesReceived.Add(uint64(headerSize + len(payload) + crcSize))
+		if typ != typeBatch {
+			continue
+		}
+		h, records, err := decodeBatch(payload)
+		if err != nil {
+			r.Stats.QuarantinedFrames.Add(1)
+			r.err = err
+			return
+		}
+		if h.endSeq <= r.lastSeq {
+			// Duplicate delivery (e.g. a batch raced a reconnect):
+			// already applied, just re-ack so the shipper advances.
+			r.sendAck(c, r.lastSeq)
+			continue
+		}
+		if h.baseSeq > r.lastSeq {
+			r.Stats.QuarantinedFrames.Add(1)
+			r.Stats.QuarantinedRecords.Add(uint64(h.count))
+			r.err = fmt.Errorf("logship: gap: batch starts at seq %d, replica at %d", h.baseSeq, r.lastSeq)
+			return
+		}
+		if !r.applyBatch(h, records) {
+			return
+		}
+		r.lastSeq = h.endSeq
+		if !r.sendAck(c, h.endSeq) {
+			return
+		}
+	}
+}
+
+// applyBatch validates and applies every record of a batch. The first
+// invalid record quarantines the remainder, reports false, and leaves
+// lastSeq untouched so the batch is not acked.
+func (r *Replica) applyBatch(h batchHeader, records []byte) bool {
+	for i := uint32(0); i < h.count; i++ {
+		rec := logrec.Decode(records[i*logrec.Size:])
+		if !recovery.ValidWrite(rec.Addr, rec.WriteSize, r.size) {
+			r.Stats.QuarantinedFrames.Add(1)
+			r.Stats.QuarantinedRecords.Add(uint64(h.count - i))
+			r.err = fmt.Errorf("logship: invalid record %d/%d (off %#x size %d): quarantined",
+				i, h.count, rec.Addr, rec.WriteSize)
+			return false
+		}
+		r.cons.ApplyRecord(rec.Addr, rec.Value, rec.WriteSize)
+		r.Stats.RecordsApplied.Add(1)
+	}
+	r.Stats.BatchesApplied.Add(1)
+	return true
+}
+
+func (r *Replica) sendAck(c net.Conn, seq uint64) bool {
+	if _, err := c.Write(encodeFrame(typeAck, encodeAck(seq))); err != nil {
+		r.err = err
+		return false
+	}
+	r.Stats.AcksSent.Add(1)
+	return true
+}

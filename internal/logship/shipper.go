@@ -1,0 +1,560 @@
+package logship
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lvm/internal/core"
+	"lvm/internal/logrec"
+)
+
+// Policy says what the shipper does when a consumer's in-flight window is
+// full at enqueue time.
+type Policy int
+
+const (
+	// PolicyStall waits up to StallTimeout for the window to drain, then
+	// drops the consumer. Release latency absorbs the wait; memory stays
+	// bounded either way.
+	PolicyStall Policy = iota
+	// PolicyDrop disconnects the slow consumer immediately. It can
+	// rejoin later and catch up from its last acked sequence.
+	PolicyDrop
+)
+
+// Config tunes a Shipper.
+type Config struct {
+	// FlushRecords is the batch seal threshold in records (default 64).
+	FlushRecords int
+	// Window bounds the batches queued per consumer (default 8). With
+	// FlushRecords it caps shipping memory per consumer at roughly
+	// Window × FlushRecords × 16 bytes — a slow consumer can never grow
+	// an unbounded backlog in the producer.
+	Window int
+	// OnFull is the slow-consumer policy (default PolicyStall).
+	OnFull Policy
+	// StallTimeout bounds one PolicyStall wait (default 5s).
+	StallTimeout time.Duration
+	// HandshakeTimeout bounds the hello/welcome exchange (default 5s).
+	HandshakeTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.FlushRecords <= 0 {
+		c.FlushRecords = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 5 * time.Second
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+}
+
+// shipConn is one consumer connection as the shipper sees it.
+type shipConn struct {
+	c     net.Conn
+	ch    chan []byte   // sealed frames awaiting the writer; cap = Window
+	start uint64        // sequence shipping resumed from (catch-up cursor)
+	acked atomic.Uint64 // highest sequence the consumer acknowledged
+	dead  atomic.Bool
+	stop  chan struct{}
+	once  sync.Once
+}
+
+func (c *shipConn) kill() {
+	c.once.Do(func() {
+		c.dead.Store(true)
+		close(c.stop)
+		c.c.Close()
+	})
+}
+
+// Shipper streams a logged segment's records to every connected replica.
+//
+// Threading: the accept loop and per-connection writer/ack goroutines are
+// host-side and touch only the network and atomics. Everything that reads
+// the simulated machine — Flush, FlushAll, ReleaseShip, Rebase, Close —
+// must be called from the producer's (simulation) thread, because log
+// readers walk kernel state that the machine mutates on every store.
+type Shipper struct {
+	sys  *core.System
+	data *core.Segment
+	ls   *core.Segment
+	cfg  Config
+	ln   net.Listener
+
+	reader *core.LogReader
+
+	// Pump-thread state.
+	conns      []*shipConn
+	batch      []byte // raw re-encoded records of the open batch
+	batchCount int
+	sealedSeq  uint64 // log index everything up to which has been sealed
+
+	// Shared with handshake goroutines.
+	epoch  atomic.Uint32
+	seq    atomic.Uint64 // log index of the next unscanned record
+	joinCh chan *shipConn
+	ack    chan struct{} // pinged on every ack, cap 1
+
+	// all tracks every connection with live goroutines so Close can
+	// unblock them; guarded by mu, which also serializes registration
+	// against closing.
+	mu  sync.Mutex
+	all map[*shipConn]struct{}
+
+	// Stats surface in the producer System's MetricsSnapshot as
+	// logship.* counters.
+	Stats ShipStats
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewShipper starts shipping the records that data's writes append to
+// log segment ls, serving replicas that connect via ln. It registers its
+// counters with sys's metrics registry and begins accepting immediately;
+// records flow on the next Flush.
+func NewShipper(sys *core.System, data, ls *core.Segment, ln net.Listener, cfg Config) *Shipper {
+	cfg.fill()
+	s := &Shipper{
+		sys:    sys,
+		data:   data,
+		ls:     ls,
+		cfg:    cfg,
+		ln:     ln,
+		reader: core.NewLogReader(sys, ls),
+		joinCh: make(chan *shipConn, 64),
+		ack:    make(chan struct{}, 1),
+		all:    make(map[*shipConn]struct{}),
+		closed: make(chan struct{}),
+	}
+	s.epoch.Store(1)
+	sys.Metrics().AddCollector(s.Stats.Collect)
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Epoch reports the current log generation.
+func (s *Shipper) Epoch() uint32 { return s.epoch.Load() }
+
+// SealedSeq reports the log index up to which batches have been sealed
+// and broadcast. Pump thread only.
+func (s *Shipper) SealedSeq() uint64 { return s.sealedSeq }
+
+// Consumers reports how many live consumers are attached. Pump thread
+// only; joined-but-unadmitted connections don't count until the next
+// Flush.
+func (s *Shipper) Consumers() int {
+	n := 0
+	for _, c := range s.conns {
+		if !c.dead.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Shipper) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handshake(c)
+	}
+}
+
+// handshake runs the hello/welcome exchange on a fresh connection and
+// queues it for admission by the pump.
+func (s *Shipper) handshake(c net.Conn) {
+	defer s.wg.Done()
+	deadline := time.Now().Add(s.cfg.HandshakeTimeout)
+	_ = c.SetDeadline(deadline)
+	typ, payload, err := readFrame(c)
+	if err != nil || typ != typeHello {
+		c.Close()
+		return
+	}
+	h, err := decodeHello(payload)
+	if err != nil || h.segSize != s.data.Size() {
+		c.Close()
+		return
+	}
+	start := negotiateStart(h, s.epoch.Load(), s.seq.Load())
+	sc := &shipConn{
+		c:     c,
+		ch:    make(chan []byte, s.cfg.Window),
+		start: start,
+		stop:  make(chan struct{}),
+	}
+	sc.acked.Store(start)
+	if !s.register(sc) {
+		sc.kill()
+		return
+	}
+	// Enqueue the join BEFORE the welcome goes out: the welcome write
+	// completes only after the replica reads it (synchronous on the mem
+	// transport, ordered on TCP), so by the time the replica's Connect
+	// returns, the join is already visible to the pump's next Flush —
+	// admission is deterministic, never a scheduling race. The writer
+	// goroutine starts after the welcome, so no batch can precede it on
+	// the wire even if the pump admits us first.
+	select {
+	case s.joinCh <- sc:
+	case <-s.closed:
+		sc.kill()
+		return
+	}
+	if _, err := c.Write(encodeFrame(typeWelcome, encodeWelcome(welcome{
+		startSeq: start,
+		epoch:    s.epoch.Load(),
+		segSize:  s.data.Size(),
+	}))); err != nil {
+		sc.kill()
+		return
+	}
+	_ = c.SetDeadline(time.Time{})
+	s.Stats.Joins.Add(1)
+	if h.lastSeq > 0 || h.epoch > 0 {
+		s.Stats.Reconnects.Add(1)
+	}
+	s.wg.Add(2)
+	go s.connWriter(sc)
+	go s.connAcks(sc)
+}
+
+// register adds a connection to the close set; it fails once the shipper
+// is closing, so no connection's goroutines can outlive Close.
+func (s *Shipper) register(c *shipConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.all[c] = struct{}{}
+	return true
+}
+
+// connWriter drains a consumer's frame queue onto its connection.
+func (s *Shipper) connWriter(c *shipConn) {
+	defer s.wg.Done()
+	for {
+		select {
+		case b := <-c.ch:
+			if _, err := c.c.Write(b); err != nil {
+				c.kill()
+				return
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// connAcks reads acknowledgement frames and advances the consumer's
+// acked cursor.
+func (s *Shipper) connAcks(c *shipConn) {
+	defer s.wg.Done()
+	for {
+		typ, payload, err := readFrame(c.c)
+		if err != nil {
+			c.kill()
+			s.ping()
+			return
+		}
+		if typ != typeAck {
+			continue
+		}
+		seq, err := decodeAck(payload)
+		if err != nil {
+			c.kill()
+			s.ping()
+			return
+		}
+		if seq > c.acked.Load() {
+			c.acked.Store(seq)
+		}
+		s.Stats.AcksReceived.Add(1)
+		s.ping()
+	}
+}
+
+func (s *Shipper) ping() {
+	select {
+	case s.ack <- struct{}{}:
+	default:
+	}
+}
+
+// Flush drains the producer's log into batches and broadcasts every
+// sealed batch; a partial batch stays open for the next Flush. It also
+// admits consumers that connected since the last pump. Producer thread
+// only.
+func (s *Shipper) Flush() error {
+	if err := s.admitJoins(); err != nil {
+		return err
+	}
+	s.reader.Sync()
+	var scratch [logrec.Size]byte
+	for {
+		rec, ok := s.reader.Next()
+		if !ok {
+			break
+		}
+		if rec.Seg == s.data {
+			// Rewrite the address to a segment offset: replicas cannot
+			// resolve producer physical addresses, and offsets are what
+			// their apply path wants.
+			wire := rec.Record
+			wire.Addr = rec.SegOff
+			wire.Encode(scratch[:])
+			s.batch = append(s.batch, scratch[:]...)
+			s.batchCount++
+		}
+		if s.batchCount >= s.cfg.FlushRecords {
+			s.seal()
+		}
+	}
+	s.seq.Store(uint64(s.reader.Offset()) / logrec.Size)
+	return nil
+}
+
+// FlushAll is Flush plus a seal of the open partial batch, so everything
+// logged so far is on the wire (or queued within each consumer's window).
+func (s *Shipper) FlushAll() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.seal()
+	return nil
+}
+
+// seal closes the open batch and broadcasts it to every live consumer.
+// An empty batch still ships if the cursor advanced (records for other
+// segments sharing the log), so acks keep moving.
+func (s *Shipper) seal() {
+	endSeq := uint64(s.reader.Offset()) / logrec.Size
+	if endSeq == s.sealedSeq && s.batchCount == 0 {
+		return
+	}
+	frame := encodeFrame(typeBatch, encodeBatch(batchHeader{
+		baseSeq: s.sealedSeq,
+		endSeq:  endSeq,
+		count:   uint32(s.batchCount),
+	}, s.batch))
+	s.Stats.BatchesShipped.Add(1)
+	s.Stats.RecordsShipped.Add(uint64(s.batchCount))
+	for _, c := range s.conns {
+		s.offer(c, frame)
+	}
+	s.sealedSeq = endSeq
+	s.batch = s.batch[:0]
+	s.batchCount = 0
+}
+
+// offer enqueues a frame within the consumer's window, applying the
+// slow-consumer policy when the window is full.
+func (s *Shipper) offer(c *shipConn, frame []byte) {
+	if c.dead.Load() {
+		return
+	}
+	select {
+	case c.ch <- frame:
+		s.Stats.BytesShipped.Add(uint64(len(frame)))
+		return
+	default:
+	}
+	if s.cfg.OnFull == PolicyDrop {
+		s.Stats.Drops.Add(1)
+		c.kill()
+		return
+	}
+	s.Stats.Stalls.Add(1)
+	t := time.NewTimer(s.cfg.StallTimeout)
+	defer t.Stop()
+	select {
+	case c.ch <- frame:
+		s.Stats.BytesShipped.Add(uint64(len(frame)))
+	case <-c.stop:
+	case <-t.C:
+		s.Stats.Drops.Add(1)
+		c.kill()
+	}
+}
+
+// admitJoins brings newly connected consumers live: the open batch is
+// sealed first so the sealed cursor is the single truth, then each
+// joiner is caught up from its negotiated start sequence by re-reading
+// the log, exactly as crash recovery re-reads a surviving log.
+func (s *Shipper) admitJoins() error {
+	for {
+		var c *shipConn
+		select {
+		case c = <-s.joinCh:
+		default:
+			s.sweepDead()
+			return nil
+		}
+		s.seal()
+		if err := s.catchUp(c); err != nil {
+			c.kill()
+			return err
+		}
+		s.conns = append(s.conns, c)
+	}
+}
+
+// catchUp ships the log tail [c.start, sealedSeq) to one consumer.
+func (s *Shipper) catchUp(c *shipConn) error {
+	if c.start >= s.sealedSeq {
+		return nil
+	}
+	r := core.NewLogReader(s.sys, s.ls)
+	if err := r.Seek(uint32(c.start) * logrec.Size); err != nil {
+		return fmt.Errorf("logship: catch-up seek: %w", err)
+	}
+	r.SetEnd(uint32(s.sealedSeq) * logrec.Size)
+	var scratch [logrec.Size]byte
+	var records []byte
+	base := c.start
+	count := 0
+	flush := func() {
+		end := uint64(r.Offset()) / logrec.Size
+		frame := encodeFrame(typeBatch, encodeBatch(batchHeader{
+			baseSeq: base,
+			endSeq:  end,
+			count:   uint32(count),
+		}, records))
+		s.Stats.BatchesShipped.Add(1)
+		s.Stats.CatchupRecords.Add(uint64(count))
+		s.offer(c, frame)
+		base = end
+		records = records[:0]
+		count = 0
+	}
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		if rec.Seg == s.data {
+			wire := rec.Record
+			wire.Addr = rec.SegOff
+			wire.Encode(scratch[:])
+			records = append(records, scratch[:]...)
+			count++
+		}
+		if count >= s.cfg.FlushRecords {
+			flush()
+		}
+	}
+	if count > 0 || base < s.sealedSeq {
+		flush()
+	}
+	return nil
+}
+
+// sweepDead drops dead connections from the broadcast set.
+func (s *Shipper) sweepDead() {
+	live := s.conns[:0]
+	for _, c := range s.conns {
+		if !c.dead.Load() {
+			live = append(live, c)
+		}
+	}
+	s.conns = live
+}
+
+// WaitAcked blocks until every live consumer has acknowledged seq, or
+// the timeout expires. Consumers that die while waiting stop being
+// waited on (they will catch up when they rejoin). Producer thread only.
+func (s *Shipper) WaitAcked(seq uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := 0
+		for _, c := range s.conns {
+			if !c.dead.Load() && c.acked.Load() < seq {
+				pending++
+			}
+		}
+		if pending == 0 {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("logship: %d consumer(s) did not ack seq %d within %v", pending, seq, timeout)
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-s.ack:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// ReleaseShip is the lock-release synchronization of Section 2.6 over a
+// real transport: flush everything logged so far and wait until every
+// live replica has acknowledged it. With streaming consumers keeping up,
+// the backlog here is small and release latency approaches a round trip.
+// Producer thread only.
+func (s *Shipper) ReleaseShip(timeout time.Duration) error {
+	if err := s.FlushAll(); err != nil {
+		return err
+	}
+	return s.WaitAcked(s.sealedSeq, timeout)
+}
+
+// Rebase tells the shipper the producer truncated or rewound its log:
+// the epoch bumps, the reader returns to the log start, and every
+// consumer is disconnected so it rejoins under the new generation (a
+// stale-epoch hello negotiates a full resync). Producer thread only.
+func (s *Shipper) Rebase() error {
+	s.epoch.Add(1)
+	s.reader.Sync()
+	if err := s.reader.Seek(0); err != nil {
+		return err
+	}
+	s.sealedSeq = 0
+	s.seq.Store(0)
+	s.batch = s.batch[:0]
+	s.batchCount = 0
+	for _, c := range s.conns {
+		c.kill()
+	}
+	s.conns = s.conns[:0]
+	return nil
+}
+
+// Close stops accepting, disconnects every consumer, and joins all
+// shipper goroutines. Producer thread only.
+func (s *Shipper) Close() error {
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+		s.mu.Unlock()
+		return nil
+	default:
+	}
+	close(s.closed)
+	for c := range s.all {
+		c.kill()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}

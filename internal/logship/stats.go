@@ -1,0 +1,57 @@
+package logship
+
+import "sync/atomic"
+
+// ShipStats are the producer-side replication counters. They are plain
+// atomics rather than metrics.Shard entries because the shipping layer
+// runs host goroutines (connection writers and ack readers) alongside the
+// simulation thread, and shards are strictly single-writer; the stats
+// surface in the producer System's MetricsSnapshot through a registered
+// metrics.Collector instead, under the logship.* names below.
+type ShipStats struct {
+	BatchesShipped atomic.Uint64 // batch frames enqueued to consumers
+	RecordsShipped atomic.Uint64 // records carried by those frames
+	BytesShipped   atomic.Uint64 // wire bytes enqueued (per consumer)
+	AcksReceived   atomic.Uint64 // ack frames read from consumers
+	Stalls         atomic.Uint64 // enqueue waits on a full consumer window
+	Drops          atomic.Uint64 // consumers dropped (policy or stall timeout)
+	Joins          atomic.Uint64 // handshakes completed
+	Reconnects     atomic.Uint64 // joins that resumed a previous session
+	CatchupRecords atomic.Uint64 // records re-read from the log for rejoining consumers
+}
+
+// Collect is a metrics.Collector emitting the shipper's counters.
+func (s *ShipStats) Collect(emit func(name string, v uint64)) {
+	emit("logship.batches_shipped", s.BatchesShipped.Load())
+	emit("logship.records_shipped", s.RecordsShipped.Load())
+	emit("logship.bytes_shipped", s.BytesShipped.Load())
+	emit("logship.acks_received", s.AcksReceived.Load())
+	emit("logship.stalls", s.Stalls.Load())
+	emit("logship.consumers_dropped", s.Drops.Load())
+	emit("logship.joins", s.Joins.Load())
+	emit("logship.reconnects", s.Reconnects.Load())
+	emit("logship.catchup_records", s.CatchupRecords.Load())
+}
+
+// ReplicaStats are the consumer-side counters, surfaced in the replica
+// System's MetricsSnapshot the same way.
+type ReplicaStats struct {
+	BatchesApplied     atomic.Uint64 // batch frames applied
+	RecordsApplied     atomic.Uint64 // records applied to the replica segment
+	BytesReceived      atomic.Uint64 // wire bytes received
+	AcksSent           atomic.Uint64 // ack frames sent
+	Reconnects         atomic.Uint64 // sessions beyond the first
+	QuarantinedFrames  atomic.Uint64 // frames rejected (torn, corrupt, invalid record)
+	QuarantinedRecords atomic.Uint64 // records discarded with those frames
+}
+
+// Collect is a metrics.Collector emitting the replica's counters.
+func (s *ReplicaStats) Collect(emit func(name string, v uint64)) {
+	emit("logship.replica_batches_applied", s.BatchesApplied.Load())
+	emit("logship.replica_records_applied", s.RecordsApplied.Load())
+	emit("logship.replica_bytes_received", s.BytesReceived.Load())
+	emit("logship.replica_acks_sent", s.AcksSent.Load())
+	emit("logship.replica_reconnects", s.Reconnects.Load())
+	emit("logship.replica_quarantined_frames", s.QuarantinedFrames.Load())
+	emit("logship.replica_quarantined_records", s.QuarantinedRecords.Load())
+}

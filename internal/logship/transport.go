@@ -1,0 +1,72 @@
+package logship
+
+import (
+	"fmt"
+	"net"
+)
+
+// DialFunc opens one connection to a shipper. Replicas hold a DialFunc
+// rather than a net.Conn so they can redial after a crash or disconnect.
+type DialFunc func() (net.Conn, error)
+
+// TCPDialer returns a DialFunc for a shipper listening at addr.
+func TCPDialer(addr string) DialFunc {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// memAddr is the mem transport's net.Addr.
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+// memListener is an in-process net.Listener over net.Pipe connections:
+// the deterministic transport the logship tests run on. Pipe writes are
+// synchronous (a Write completes only when the peer has read it), which
+// makes backpressure visible and timing-independent.
+type memListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+}
+
+// NewMemTransport returns a connected in-memory listener and a dialer
+// for it. The listener's Accept and the dialer may be used from any
+// goroutine; Close unblocks both sides.
+func NewMemTransport() (net.Listener, DialFunc) {
+	l := &memListener{ch: make(chan net.Conn), done: make(chan struct{})}
+	dial := func() (net.Conn, error) {
+		server, client := net.Pipe()
+		select {
+		case l.ch <- server:
+			return client, nil
+		case <-l.done:
+			server.Close()
+			client.Close()
+			return nil, fmt.Errorf("logship: mem transport closed")
+		}
+	}
+	return l, dial
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *memListener) Close() error {
+	select {
+	case <-l.done:
+	default:
+		close(l.done)
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return memAddr{} }

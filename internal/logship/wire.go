@@ -1,0 +1,238 @@
+// Package logship ships LVM log records from a producer System to N
+// replica consumers over a real transport — the first piece of the
+// codebase that moves log data between independent systems instead of
+// simulating consistency inside one address space (Section 2.6's
+// log-based distributed consistency, scaled out).
+//
+// The design follows the paper's observation that the hardware log is
+// already the enumerated update set: the producer's write path is
+// untouched (logged stores stay zero-allocation), and a shipping layer
+// drains the log into framed batches of 16-byte records on the producer's
+// thread, bounded per consumer by an in-flight window. Replicas apply
+// records through the existing dsm.Consumer machinery, validate each one
+// with the crash-recovery rules (recovery.ValidWrite), quarantine on
+// torn or corrupt frames, and resume from their last acknowledged
+// sequence number after a crash or disconnect — the same
+// degrade-don't-panic posture as internal/recovery.Replay.
+//
+// Wire protocol (version 1, little-endian):
+//
+//	frame   := magic(4)="LVSH" ver(1) type(1) flags(2) len(4) payload len-bytes crc32(4)
+//	hello   := lastSeq(8) epoch(4) segSize(4)            replica → shipper
+//	welcome := startSeq(8) epoch(4) segSize(4)           shipper → replica
+//	batch   := baseSeq(8) endSeq(8) count(4) count×16-byte records
+//	ack     := seq(8)                                    replica → shipper
+//
+// Sequence numbers are log-record indices in the producer's log segment
+// (offset / 16), so an ack doubles as a catch-up cursor: a reconnecting
+// replica's lastSeq tells the shipper exactly where to rescan the log.
+// The epoch is the log generation; it bumps when the producer truncates
+// the log, and a stale-epoch hello forces a full resync from sequence 0.
+// Record address fields are rewritten to segment offsets before shipping:
+// replicas never see (and could not resolve) producer physical addresses.
+package logship
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"lvm/internal/logrec"
+)
+
+// Protocol constants.
+const (
+	// Magic is the frame preamble, "LVSH" in little-endian.
+	Magic = uint32(0x4853564C)
+	// Version is the wire protocol version this package speaks.
+	Version = 1
+
+	headerSize = 12
+	crcSize    = 4
+
+	// maxPayload bounds a frame's declared payload length so a corrupt
+	// or hostile length field can never cause an unbounded allocation.
+	maxPayload = 1 << 20
+)
+
+// Frame types.
+const (
+	typeHello   = byte(1)
+	typeWelcome = byte(2)
+	typeBatch   = byte(3)
+	typeAck     = byte(4)
+)
+
+// ErrCorrupt marks a frame that failed structural validation: bad magic,
+// unsupported version, oversize length, or a CRC mismatch. Receivers
+// treat it like crash recovery treats a torn log tail — quarantine and
+// drop the connection rather than guess.
+var ErrCorrupt = errors.New("logship: corrupt frame")
+
+func put32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func put64(b []byte, v uint64) {
+	put32(b, uint32(v))
+	put32(b[4:], uint32(v>>32))
+}
+
+func get32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func get64(b []byte) uint64 {
+	return uint64(get32(b)) | uint64(get32(b[4:]))<<32
+}
+
+// encodeFrame wraps payload in a framed, CRC-protected message.
+func encodeFrame(typ byte, payload []byte) []byte {
+	b := make([]byte, headerSize+len(payload)+crcSize)
+	put32(b, Magic)
+	b[4] = Version
+	b[5] = typ
+	put32(b[8:], uint32(len(payload)))
+	copy(b[headerSize:], payload)
+	put32(b[headerSize+len(payload):], crc32.ChecksumIEEE(payload))
+	return b
+}
+
+// readFrame reads one frame from r, validating magic, version, length
+// bound and CRC. A short read surfaces as io.ErrUnexpectedEOF (a torn
+// frame); structural damage surfaces as ErrCorrupt.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if m := get32(hdr[:]); m != Magic {
+		return 0, nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, m)
+	}
+	if hdr[4] != Version {
+		return 0, nil, fmt.Errorf("%w: version %d (want %d)", ErrCorrupt, hdr[4], Version)
+	}
+	n := get32(hdr[8:])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds %d", ErrCorrupt, n, maxPayload)
+	}
+	buf := make([]byte, n+crcSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	payload = buf[:n]
+	if got, want := crc32.ChecksumIEEE(payload), get32(buf[n:]); got != want {
+		return 0, nil, fmt.Errorf("%w: crc %#x != %#x", ErrCorrupt, got, want)
+	}
+	return hdr[5], payload, nil
+}
+
+// hello is the replica's handshake: where it left off.
+type hello struct {
+	lastSeq uint64
+	epoch   uint32
+	segSize uint32
+}
+
+// welcome is the shipper's handshake reply: where shipping will resume.
+type welcome struct {
+	startSeq uint64
+	epoch    uint32
+	segSize  uint32
+}
+
+const helloSize = 16 // also the welcome size: same layout
+
+func encodeHello(h hello) []byte {
+	b := make([]byte, helloSize)
+	put64(b, h.lastSeq)
+	put32(b[8:], h.epoch)
+	put32(b[12:], h.segSize)
+	return b
+}
+
+func decodeHello(p []byte) (hello, error) {
+	if len(p) != helloSize {
+		return hello{}, fmt.Errorf("%w: hello payload %d bytes", ErrCorrupt, len(p))
+	}
+	return hello{lastSeq: get64(p), epoch: get32(p[8:]), segSize: get32(p[12:])}, nil
+}
+
+func encodeWelcome(w welcome) []byte {
+	b := make([]byte, helloSize)
+	put64(b, w.startSeq)
+	put32(b[8:], w.epoch)
+	put32(b[12:], w.segSize)
+	return b
+}
+
+func decodeWelcome(p []byte) (welcome, error) {
+	if len(p) != helloSize {
+		return welcome{}, fmt.Errorf("%w: welcome payload %d bytes", ErrCorrupt, len(p))
+	}
+	return welcome{startSeq: get64(p), epoch: get32(p[8:]), segSize: get32(p[12:])}, nil
+}
+
+// batchHeader precedes the raw records in a batch payload. baseSeq is the
+// first log index the batch's scan covered and endSeq the index after the
+// last; count may be smaller than endSeq-baseSeq when scanned records
+// belonged to other segments sharing the log (they ship as nothing but
+// still advance the cursor), and may be zero for a pure cursor advance.
+type batchHeader struct {
+	baseSeq uint64
+	endSeq  uint64
+	count   uint32
+}
+
+const batchHeaderSize = 20
+
+func encodeBatch(h batchHeader, records []byte) []byte {
+	b := make([]byte, batchHeaderSize+len(records))
+	put64(b, h.baseSeq)
+	put64(b[8:], h.endSeq)
+	put32(b[16:], h.count)
+	copy(b[batchHeaderSize:], records)
+	return b
+}
+
+func decodeBatch(p []byte) (batchHeader, []byte, error) {
+	if len(p) < batchHeaderSize {
+		return batchHeader{}, nil, fmt.Errorf("%w: batch payload %d bytes", ErrCorrupt, len(p))
+	}
+	h := batchHeader{baseSeq: get64(p), endSeq: get64(p[8:]), count: get32(p[16:])}
+	records := p[batchHeaderSize:]
+	if uint64(len(records)) != uint64(h.count)*logrec.Size {
+		return batchHeader{}, nil, fmt.Errorf("%w: batch count %d != %d record bytes", ErrCorrupt, h.count, len(records))
+	}
+	if h.endSeq < h.baseSeq || h.endSeq-h.baseSeq < uint64(h.count) {
+		return batchHeader{}, nil, fmt.Errorf("%w: batch seq range [%d,%d) holds %d records", ErrCorrupt, h.baseSeq, h.endSeq, h.count)
+	}
+	return h, records, nil
+}
+
+func encodeAck(seq uint64) []byte {
+	b := make([]byte, 8)
+	put64(b, seq)
+	return b
+}
+
+func decodeAck(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: ack payload %d bytes", ErrCorrupt, len(p))
+	}
+	return get64(p), nil
+}
+
+// negotiateStart decides where shipping resumes for a replica that said
+// hello: from its last acked sequence when the log generation matches and
+// the claim is plausible, from zero (full resync) otherwise.
+func negotiateStart(h hello, curEpoch uint32, curSeq uint64) uint64 {
+	if h.epoch != curEpoch || h.lastSeq > curSeq {
+		return 0
+	}
+	return h.lastSeq
+}

@@ -1,0 +1,123 @@
+package logship
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"lvm/internal/logrec"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := encodeHello(hello{lastSeq: 42, epoch: 7, segSize: 4096})
+	frame := encodeFrame(typeHello, payload)
+	typ, got, err := readFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != typeHello {
+		t.Fatalf("type = %d", typ)
+	}
+	h, err := decodeHello(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.lastSeq != 42 || h.epoch != 7 || h.segSize != 4096 {
+		t.Fatalf("hello = %+v", h)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	var records []byte
+	var buf [logrec.Size]byte
+	for i := 0; i < 3; i++ {
+		logrec.Record{Addr: uint32(i * 4), Value: uint32(0x100 + i), WriteSize: 4}.Encode(buf[:])
+		records = append(records, buf[:]...)
+	}
+	payload := encodeBatch(batchHeader{baseSeq: 10, endSeq: 15, count: 3}, records)
+	typ, got, err := readFrame(bytes.NewReader(encodeFrame(typeBatch, payload)))
+	if err != nil || typ != typeBatch {
+		t.Fatalf("readFrame: %v type %d", err, typ)
+	}
+	h, recs, err := decodeBatch(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.baseSeq != 10 || h.endSeq != 15 || h.count != 3 || len(recs) != 3*logrec.Size {
+		t.Fatalf("batch = %+v, %d record bytes", h, len(recs))
+	}
+	if rec := logrec.Decode(recs[logrec.Size:]); rec.Value != 0x101 {
+		t.Fatalf("record 1 value = %#x", rec.Value)
+	}
+}
+
+func TestCorruptFrameDetected(t *testing.T) {
+	frame := encodeFrame(typeAck, encodeAck(9))
+
+	// Flip a payload bit: CRC must catch it.
+	bad := append([]byte(nil), frame...)
+	bad[headerSize] ^= 0x40
+	if _, _, err := readFrame(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: err = %v", err)
+	}
+
+	// Bad magic.
+	bad = append([]byte(nil), frame...)
+	bad[0] = 'X'
+	if _, _, err := readFrame(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+
+	// Unsupported version.
+	bad = append([]byte(nil), frame...)
+	bad[4] = 99
+	if _, _, err := readFrame(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad version: err = %v", err)
+	}
+
+	// Oversize declared length must not allocate; it must reject.
+	bad = append([]byte(nil), frame...)
+	put32(bad[8:], maxPayload+1)
+	if _, _, err := readFrame(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversize: err = %v", err)
+	}
+
+	// Torn frame: header promises more payload than arrives.
+	if _, _, err := readFrame(bytes.NewReader(frame[:len(frame)-2])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn: err = %v", err)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	// Count disagreeing with the record bytes.
+	payload := encodeBatch(batchHeader{baseSeq: 0, endSeq: 2, count: 2}, make([]byte, logrec.Size))
+	if _, _, err := decodeBatch(payload); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("count mismatch: err = %v", err)
+	}
+	// Sequence range too small for the record count.
+	payload = encodeBatch(batchHeader{baseSeq: 5, endSeq: 6, count: 2}, make([]byte, 2*logrec.Size))
+	if _, _, err := decodeBatch(payload); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad range: err = %v", err)
+	}
+}
+
+func TestNegotiateStart(t *testing.T) {
+	cases := []struct {
+		h        hello
+		epoch    uint32
+		seq      uint64
+		want     uint64
+		scenario string
+	}{
+		{hello{lastSeq: 0, epoch: 0}, 1, 100, 0, "fresh replica"},
+		{hello{lastSeq: 40, epoch: 1}, 1, 100, 40, "clean reconnect"},
+		{hello{lastSeq: 40, epoch: 1}, 2, 100, 0, "stale epoch forces resync"},
+		{hello{lastSeq: 200, epoch: 1}, 1, 100, 0, "implausible claim forces resync"},
+	}
+	for _, c := range cases {
+		if got := negotiateStart(c.h, c.epoch, c.seq); got != c.want {
+			t.Errorf("%s: start = %d, want %d", c.scenario, got, c.want)
+		}
+	}
+}

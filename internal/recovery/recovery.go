@@ -149,25 +149,32 @@ func apply(res *Result, sh *metrics.Shard, dst *core.Segment, rec core.Record) {
 // misaligned offset, a range leaving the segment, or a "write" into a
 // log segment (the logger never logs its own log).
 func valid(rec core.Record) bool {
-	switch rec.WriteSize {
-	case 1, 2, 4:
-	default:
-		return false
-	}
 	if rec.Seg == nil {
 		return false
 	}
-	ws := uint32(rec.WriteSize)
-	if rec.SegOff%ws != 0 {
-		return false
-	}
-	if rec.SegOff+ws > rec.Seg.Size() {
+	if !ValidWrite(rec.SegOff, rec.WriteSize, rec.Seg.Size()) {
 		return false
 	}
 	if rec.Seg.IsLog() {
 		return false
 	}
 	return true
+}
+
+// ValidWrite reports whether (off, size) can describe a real logged write
+// into a segment of segSize bytes: a size the hardware emits, a
+// size-aligned offset, and a range inside the segment. This is the
+// record-validation core shared by crash-recovery replay and the logship
+// replication replica, which quarantines on the first record that fails
+// it — the same degrade-don't-panic posture as Replay.
+func ValidWrite(off uint32, size uint16, segSize uint32) bool {
+	switch size {
+	case 1, 2, 4:
+	default:
+		return false
+	}
+	ws := uint32(size)
+	return off%ws == 0 && off+ws <= segSize
 }
 
 // Policy bounds the retry loop of a RetryDisk.

@@ -94,7 +94,7 @@ func TestEvictDeferredCopyDestinationRejected(t *testing.T) {
 	k := testKernel()
 	src := k.NewSegment("src", PageSize, nil)
 	dst := k.NewSegment("dst", PageSize, nil)
-	dst.SetSourceSegment(src, 0)
+	mustSource(t, dst, src, 0)
 	dst.Write32(0, 1)
 	if err := k.EvictPage(dst, 0); err == nil {
 		t.Fatalf("evicted a deferred-copy destination")

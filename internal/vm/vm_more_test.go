@@ -127,11 +127,11 @@ func TestDeferredCopyDetachSource(t *testing.T) {
 	src := k.NewSegment("src", PageSize, nil)
 	src.Write32(0, 7)
 	dst := k.NewSegment("dst", PageSize, nil)
-	dst.SetSourceSegment(src, 0)
+	mustSource(t, dst, src, 0)
 	if dst.Read32(0) != 7 {
 		t.Fatalf("read-through failed")
 	}
-	dst.SetSourceSegment(nil, 0)
+	mustSource(t, dst, nil, 0)
 	if got := dst.Read32(0); got != 0 {
 		t.Fatalf("after detach = %d, want 0 (own zero frame)", got)
 	}
@@ -271,7 +271,7 @@ func TestResetDeferredCopyRangeSubset(t *testing.T) {
 	k := testKernel()
 	src := k.NewSegment("src", 4*PageSize, nil)
 	dst := k.NewSegment("dst", 4*PageSize, nil)
-	dst.SetSourceSegment(src, 0)
+	mustSource(t, dst, src, 0)
 	r := k.NewRegion(dst)
 	as := k.NewAddressSpace()
 	base, _ := r.Bind(as, 0)

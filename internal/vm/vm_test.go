@@ -12,6 +12,14 @@ func testKernel() *Kernel {
 	return NewKernel(machine.Config{NumCPUs: 2, MemFrames: 1024})
 }
 
+// mustSource wires dst's deferred-copy source, failing the test on error.
+func mustSource(t *testing.T, dst, src *Segment, off uint32) {
+	t.Helper()
+	if err := dst.SetSourceSegment(src, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSegmentZeroFill(t *testing.T) {
 	k := testKernel()
 	s := k.NewSegment("s", 2*PageSize, nil)
@@ -438,7 +446,7 @@ func TestDeferredCopyWritesDoNotTouchSource(t *testing.T) {
 	src := k.NewSegment("src", PageSize, nil)
 	src.Write32(0x40, 1234)
 	dst := k.NewSegment("dst", PageSize, nil)
-	dst.SetSourceSegment(src, 0)
+	mustSource(t, dst, src, 0)
 	dst.Write32(0x40, 5678)
 	if got := dst.Read32(0x40); got != 5678 {
 		t.Fatalf("dst after write = %d", got)
@@ -481,7 +489,7 @@ func TestResetDeferredCopyRollsBack(t *testing.T) {
 		src.Write32(i*4, i)
 	}
 	dst := k.NewSegment("dst", PageSize, nil)
-	dst.SetSourceSegment(src, 0)
+	mustSource(t, dst, src, 0)
 	r := k.NewRegion(dst)
 	as := k.NewAddressSpace()
 	base, _ := r.Bind(as, 0)
@@ -510,7 +518,7 @@ func TestResetCostProportionalToDirtyData(t *testing.T) {
 	k := testKernel()
 	src := k.NewSegment("src", 8*PageSize, nil)
 	dst := k.NewSegment("dst", 8*PageSize, nil)
-	dst.SetSourceSegment(src, 0)
+	mustSource(t, dst, src, 0)
 	r := k.NewRegion(dst)
 	as := k.NewAddressSpace()
 	base, _ := r.Bind(as, 0)
@@ -570,9 +578,9 @@ func TestDeferredCopyChainedSources(t *testing.T) {
 	a := k.NewSegment("a", PageSize, nil)
 	a.Write32(0, 5)
 	b := k.NewSegment("b", PageSize, nil)
-	b.SetSourceSegment(a, 0)
+	mustSource(t, b, a, 0)
 	c := k.NewSegment("c", PageSize, nil)
-	c.SetSourceSegment(b, 0)
+	mustSource(t, c, b, 0)
 	if got := c.Read32(0); got != 5 {
 		t.Fatalf("chained read = %d", got)
 	}
