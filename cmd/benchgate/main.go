@@ -29,8 +29,21 @@ type gateInput struct {
 		NsPerStore     *float64 `json:"ns_per_store"`
 		AllocsPerStore *int64   `json:"allocs_per_store"`
 	} `json:"logged_store_throughput"`
+	// Compaction is optional (older baselines predate it): when the
+	// candidate carries the section, its tail_growth — replayed records
+	// at a 10x workload over 1x, compaction on — must stay bounded, or
+	// checkpointed recovery has regressed to O(log length).
+	Compaction *struct {
+		TailGrowth *float64 `json:"tail_growth"`
+	} `json:"compaction"`
 	Counters map[string]uint64 `json:"counters"`
 }
+
+// maxTailGrowth bounds the candidate's compaction tail_growth. The
+// property is "flat as the log grows 10x"; 3.0 leaves room for the tail
+// landing mid-interval in one run and near-empty in the other without
+// ever admitting an O(log) regression (which reports ~10x).
+const maxTailGrowth = 3.0
 
 // errNoBaseline distinguishes "nothing to gate against" (file absent or
 // empty) from a malformed file. A fresh clone without a committed
@@ -82,6 +95,20 @@ func gate(base, cand *gateInput, tolerance float64) (lines []string, ok bool) {
 		ok = false
 	}
 	lines = append(lines, fmt.Sprintf("allocs/store: candidate %d %s", allocs, verdict))
+
+	switch {
+	case cand.Compaction == nil || cand.Compaction.TailGrowth == nil:
+		// Candidates written by older lvmbench revisions lack the
+		// section; that's a skip, not a failure, like pre-counter
+		// baselines below.
+		lines = append(lines, "compaction: candidate has no tail_growth (skipped)")
+	case *cand.Compaction.TailGrowth > maxTailGrowth:
+		lines = append(lines, fmt.Sprintf("compaction tail growth: %.2fx FAIL (> %.1fx: recovery no longer bounded by checkpoint tail)",
+			*cand.Compaction.TailGrowth, maxTailGrowth))
+		ok = false
+	default:
+		lines = append(lines, fmt.Sprintf("compaction tail growth: %.2fx ok", *cand.Compaction.TailGrowth))
+	}
 
 	// The candidate must prove instrumentation was live while it hit the
 	// number above; an empty counter snapshot means the metrics layer was

@@ -64,6 +64,33 @@ func TestGateFailsOnAllocation(t *testing.T) {
 	}
 }
 
+// TestGateTailGrowth pins the compaction gate: a bounded tail passes, an
+// O(log)-shaped growth fails, and a candidate without the section (an
+// older lvmbench) is skipped rather than failed.
+func TestGateTailGrowth(t *testing.T) {
+	base := report(t, 47.0, 0, "")
+	counters := `, "counters": {"hwlogger.snoops": 12}`
+
+	flat := report(t, 47.0, 0, counters+`, "compaction": {"tail_growth": 1.1}`)
+	if lines, ok := gate(base, flat, 0.10); !ok {
+		t.Fatalf("flat tail growth failed the gate: %v", lines)
+	}
+
+	grown := report(t, 47.0, 0, counters+`, "compaction": {"tail_growth": 9.8}`)
+	lines, ok := gate(base, grown, 0.10)
+	if ok {
+		t.Fatalf("10x tail growth passed the gate: %v", lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "tail growth") {
+		t.Fatalf("no tail-growth verdict in %v", lines)
+	}
+
+	absent := report(t, 47.0, 0, counters)
+	if lines, ok := gate(base, absent, 0.10); !ok {
+		t.Fatalf("section-less candidate failed the gate: %v", lines)
+	}
+}
+
 func TestGateFailsOnEmptyCounters(t *testing.T) {
 	base := report(t, 47.0, 0, "")
 	cand := report(t, 47.0, 0, "")

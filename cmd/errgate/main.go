@@ -7,6 +7,15 @@
 // silent log corruption (a dropped Seek error was exactly the bug that
 // let ReleaseStreaming replay from a stale offset).
 //
+// Beyond bare expression statements it also flags the success-only test
+//
+//	if err := f(); err == nil { ... }   // no else branch
+//
+// for the same watched names: err's scope ends with the if, so the
+// failure path is dead — the exact shape that swallowed TruncateLog
+// errors in both the RLVM manager and the timewarp scheduler, leaving
+// their cursors describing a log that was never cut.
+//
 // Usage:
 //
 //	errgate [dir]
@@ -94,13 +103,108 @@ func check(fset *token.FileSet, f *ast.File) int {
 	}
 	bad := 0
 	ast.Inspect(f, func(n ast.Node) bool {
-		stmt, isExpr := n.(*ast.ExprStmt)
-		if !isExpr {
-			return true
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, isCall := stmt.X.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			name, isWatched := watchedCall(call)
+			if !isWatched {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			if ok[pos.Line] {
+				return true
+			}
+			fmt.Printf("%s:%d: result of %s ignored\n", pos.Filename, pos.Line, name)
+			bad++
+		case *ast.IfStmt:
+			name, isSwallow := successOnlyTest(stmt)
+			if !isSwallow {
+				return true
+			}
+			pos := fset.Position(stmt.Pos())
+			if ok[pos.Line] {
+				return true
+			}
+			fmt.Printf("%s:%d: %s tested only for success; failure path silently dropped\n",
+				pos.Filename, pos.Line, name)
+			bad++
 		}
-		call, isCall := stmt.X.(*ast.CallExpr)
+		return true
+	})
+	return bad
+}
+
+// watchedCall reports whether call targets a watched name.
+func watchedCall(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	case *ast.Ident:
+		name = fn.Name
+	default:
+		return "", false
+	}
+	return name, watched[name]
+}
+
+// successOnlyTest matches `if err := f(); err == nil { ... }` with no
+// else branch, for watched f: the error variable's scope ends with the
+// if, so the failure can never be observed.
+func successOnlyTest(stmt *ast.IfStmt) (string, bool) {
+	if stmt.Else != nil || stmt.Init == nil {
+		return "", false
+	}
+	assign, isAssign := stmt.Init.(*ast.AssignStmt)
+	if !isAssign || assign.Tok != token.DEFINE || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return "", false
+	}
+	errIdent, isIdent := assign.Lhs[0].(*ast.Ident)
+	if !isIdent {
+		return "", false
+	}
+	call, isCall := assign.Rhs[0].(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	name, isWatched := watchedCall(call)
+	if !isWatched {
+		return "", false
+	}
+	cond, isCmp := stmt.Cond.(*ast.BinaryExpr)
+	if !isCmp || cond.Op != token.EQL {
+		return "", false
+	}
+	if !(isIdentNamed(cond.X, errIdent.Name) && isIdentNamed(cond.Y, "nil") ||
+		isIdentNamed(cond.X, "nil") && isIdentNamed(cond.Y, errIdent.Name)) {
+		return "", false
+	}
+	// The negative-test idiom — if err := f(); err == nil { t.Fatal(...) }
+	// — treats success as the failure; nothing is being swallowed.
+	if bodyOnlyFails(stmt.Body) {
+		return "", false
+	}
+	return name, true
+}
+
+// bodyOnlyFails reports whether every statement in the block aborts
+// (t.Fatal/t.Error/panic and friends): the success branch of a negative
+// test, not a success path doing real work.
+func bodyOnlyFails(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, s := range body.List {
+		expr, isExpr := s.(*ast.ExprStmt)
+		if !isExpr {
+			return false
+		}
+		call, isCall := expr.X.(*ast.CallExpr)
 		if !isCall {
-			return true
+			return false
 		}
 		var name string
 		switch fn := call.Fun.(type) {
@@ -109,18 +213,18 @@ func check(fset *token.FileSet, f *ast.File) int {
 		case *ast.Ident:
 			name = fn.Name
 		default:
-			return true
+			return false
 		}
-		if !watched[name] {
-			return true
+		switch name {
+		case "Fatal", "Fatalf", "Error", "Errorf", "Fail", "FailNow", "Skip", "Skipf", "panic":
+		default:
+			return false
 		}
-		pos := fset.Position(call.Pos())
-		if ok[pos.Line] {
-			return true
-		}
-		fmt.Printf("%s:%d: result of %s ignored\n", pos.Filename, pos.Line, name)
-		bad++
-		return true
-	})
-	return bad
+	}
+	return true
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, isIdent := e.(*ast.Ident)
+	return isIdent && id.Name == name
 }

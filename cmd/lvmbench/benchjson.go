@@ -36,6 +36,22 @@ type benchReport struct {
 		Identical     bool    `json:"output_identical"`
 	} `json:"fig7_sweep_wallclock"`
 
+	// Compaction pins the bounded-recovery property: replayed records at
+	// a 10x workload over a 1x workload, with and without checkpointed
+	// compaction. scanned counts are deterministic (fixed workload seed),
+	// so tail_growth is a stable gate input; the recovery seconds are
+	// host wall-clock, informational only.
+	Compaction struct {
+		Stores1x          int     `json:"stores_1x"`
+		ScannedFull1x     int     `json:"scanned_full_1x"`
+		ScannedFull10x    int     `json:"scanned_full_10x"`
+		ScannedCompact1x  int     `json:"scanned_compact_1x"`
+		ScannedCompact10x int     `json:"scanned_compact_10x"`
+		FullGrowth        float64 `json:"full_growth"`
+		TailGrowth        float64 `json:"tail_growth"`
+		RecoverCompactSec float64 `json:"recover_compact_10x_sec"`
+	} `json:"compaction"`
+
 	// Counters is the non-zero metrics snapshot of the benchmarked
 	// system after the final run — proof the instrumented hot path was
 	// actually counting while hitting the ns/store number above.
@@ -104,6 +120,34 @@ func benchJSON() error {
 	r.Fig7.Speedup = seqSec / parSec
 	r.Fig7.Identical = experiments.FormatFig7(seqPts) == experiments.FormatFig7(parPts)
 
+	// Fixed workload sizes (independent of -iters) keep the scanned
+	// counts comparable across baseline and candidate runs.
+	const compactStores = 1024
+	full1, err := compactProbe(compactStores, 0)
+	if err != nil {
+		return err
+	}
+	full10, err := compactProbe(10*compactStores, 0)
+	if err != nil {
+		return err
+	}
+	comp1, err := compactProbe(compactStores, benchCompactEvery)
+	if err != nil {
+		return err
+	}
+	comp10, err := compactProbe(10*compactStores, benchCompactEvery)
+	if err != nil {
+		return err
+	}
+	r.Compaction.Stores1x = compactStores
+	r.Compaction.ScannedFull1x = full1.Scanned
+	r.Compaction.ScannedFull10x = full10.Scanned
+	r.Compaction.ScannedCompact1x = comp1.Scanned
+	r.Compaction.ScannedCompact10x = comp10.Scanned
+	r.Compaction.FullGrowth = growth(full10.Scanned, full1.Scanned, 1)
+	r.Compaction.TailGrowth = growth(comp10.Scanned, comp1.Scanned, benchTailBound)
+	r.Compaction.RecoverCompactSec = comp10.RecoverSec
+
 	buf, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {
 		return err
@@ -115,5 +159,7 @@ func benchJSON() error {
 	fmt.Printf("wrote BENCH_lvm.json: %.1f ns/store (%.2fM stores/sec, %d allocs/op), fig7 %dx workers %.2fx wall-clock, identical=%v\n",
 		ns, r.Throughput.StoresPerSec/1e6, r.Throughput.AllocsPerStore,
 		workers, r.Fig7.Speedup, r.Fig7.Identical)
+	fmt.Printf("compaction: replay growth at 10x workload %.2fx full vs %.2fx compacted\n",
+		r.Compaction.FullGrowth, r.Compaction.TailGrowth)
 	return nil
 }

@@ -96,7 +96,8 @@ Experiments (paper table/figure each regenerates):
   bench-json            write BENCH_lvm.json (host-side simulator perf baseline)
   crashtest             seeded fault-injection + crash-recovery matrix (-seeds, -short)
   logship               log-shipping replication bench: records/sec + release latency vs replicas (-iters)
-  all                   everything above (except bench-json, crashtest and logship)
+  compact               recovery cost vs log length, bare vs checkpointed compaction (-iters)
+  all                   everything above (except bench-json, crashtest, logship and compact)
 
 Flags:
 `)
@@ -220,6 +221,9 @@ func run(name string) error {
 	case "logship":
 		banner("Log-shipping replication: throughput and release latency vs replica count")
 		return runLogship(*iters)
+	case "compact":
+		banner("Checkpointed compaction: recovery cost vs log length")
+		return runCompactBench(*iters)
 	case "extension-oodb":
 		banner("Extension: object database, RLVM speedup vs transaction length (Section 4.2 prediction)")
 		pts, err := experiments.OODB(nil, *txns/8)

@@ -1,0 +1,361 @@
+package compact
+
+import (
+	"errors"
+	"testing"
+
+	"lvm/internal/core"
+	"lvm/internal/logrec"
+	"lvm/internal/ramdisk"
+	"lvm/internal/recovery"
+)
+
+const (
+	segSize     = 16 * core.PageSize
+	markerLimit = 16
+)
+
+// rig boots a one-CPU system with a logged segment, a checkpoint disk,
+// and a manager over them.
+func rig(t *testing.T, ship Shipper) (*core.System, *core.Segment, *core.Segment, *core.Process, core.Addr, *ramdisk.Disk, *Manager) {
+	t.Helper()
+	sys := core.NewSystem(core.Config{NumCPUs: 1, MemFrames: 2048})
+	seg := core.NewNamedSegment(sys, "data", segSize, nil)
+	reg := core.NewStdRegion(sys, seg)
+	ls := core.NewLogSegment(sys, 32)
+	if err := reg.Log(ls); err != nil {
+		t.Fatal(err)
+	}
+	as := sys.NewAddressSpace()
+	base, err := reg.Bind(as, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := ramdisk.New()
+	m, err := New(sys, Options{Data: seg, Log: ls, Disk: disk, Ship: ship})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, seg, ls, sys.NewProcess(0, as), base, disk, m
+}
+
+// txn writes one committed marker-bracketed transaction of words.
+func txn(sys *core.System, p *core.Process, base core.Addr, seq uint32, writes map[uint32]uint32) {
+	p.Store32(base, seq)
+	for off, val := range writes {
+		p.Store32(base+off, val)
+	}
+	p.Store32(base, seq|recovery.MarkerCommit)
+	sys.Sync()
+}
+
+func TestCheckpointBoundsRecovery(t *testing.T) {
+	sys, seg, ls, p, base, disk, m := rig(t, nil)
+
+	txn(sys, p, base, 1, map[uint32]uint32{0x100: 11, 0x104: 12})
+	txn(sys, p, base, 2, map[uint32]uint32{0x200: 21})
+	if err := m.Checkpoint(p.CPU); err != nil {
+		t.Fatal(err)
+	}
+	preTail := sys.K.LogAppendOffset(ls)
+	txn(sys, p, base, 3, map[uint32]uint32{0x300: 31, 0x100: 99})
+
+	dst := core.NewNamedSegment(sys, "recovered", segSize, nil)
+	rr, err := Recover(sys, RecoverOptions{
+		Disk: disk, Log: ls, Data: seg, Dst: dst, MarkerLimit: markerLimit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.FromCheckpoint || rr.Seq != 1 {
+		t.Fatalf("FromCheckpoint=%v Seq=%d, want checkpoint 1", rr.FromCheckpoint, rr.Seq)
+	}
+	if rr.Start != preTail {
+		t.Fatalf("replay started at %d, want the checkpoint watermark %d", rr.Start, preTail)
+	}
+	wantTail := int((sys.K.LogAppendOffset(ls) - preTail) / logrec.Size)
+	if rr.Scanned != wantTail {
+		t.Fatalf("scanned %d records, want only the %d-record tail", rr.Scanned, wantTail)
+	}
+	for off, want := range map[uint32]uint32{0x100: 99, 0x104: 12, 0x200: 21, 0x300: 31} {
+		if got := dst.Read32(off); got != want {
+			t.Fatalf("dst[%#x] = %d, want %d", off, got, want)
+		}
+	}
+}
+
+func TestCompactTruncatesLogAndStaysRecoverable(t *testing.T) {
+	sys, seg, ls, p, base, disk, m := rig(t, nil)
+
+	txn(sys, p, base, 1, map[uint32]uint32{0x100: 11, 0x104: 12})
+	txn(sys, p, base, 2, map[uint32]uint32{0x200: 21})
+	pre := sys.K.LogAppendOffset(ls)
+	if err := m.Compact(p.CPU); err != nil {
+		t.Fatal(err)
+	}
+	// Without consumers the whole log is safe to cut.
+	if got := sys.K.LogAppendOffset(ls); got != 0 {
+		t.Fatalf("log append offset after compact = %d, want 0", got)
+	}
+	if m.CutBase() != uint64(pre) {
+		t.Fatalf("cutBase = %d, want %d", m.CutBase(), pre)
+	}
+	if m.Stats.Truncations != 1 || m.Stats.BytesTruncated != uint64(pre) {
+		t.Fatalf("stats = %+v, want 1 truncation of %d bytes", m.Stats, pre)
+	}
+	txn(sys, p, base, 3, map[uint32]uint32{0x100: 99})
+
+	dst := core.NewNamedSegment(sys, "recovered", segSize, nil)
+	rr, err := Recover(sys, RecoverOptions{
+		Disk: disk, Log: ls, Data: seg, Dst: dst, MarkerLimit: markerLimit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.FromCheckpoint || rr.Start != 0 {
+		t.Fatalf("rr = %+v, want checkpoint-seeded replay of the fresh tail", rr)
+	}
+	for off, want := range map[uint32]uint32{0x100: 99, 0x104: 12, 0x200: 21} {
+		if got := dst.Read32(off); got != want {
+			t.Fatalf("dst[%#x] = %d, want %d", off, got, want)
+		}
+	}
+}
+
+// fakeShip is a Shipper whose lowest ack the test controls.
+type fakeShip struct {
+	minAcked  uint64
+	compacted []uint64
+}
+
+func (f *fakeShip) MinAcked() uint64 { return f.minAcked }
+func (f *fakeShip) Compacted(cut uint64) error {
+	f.compacted = append(f.compacted, cut)
+	return nil
+}
+
+func TestCompactRespectsConsumerAcks(t *testing.T) {
+	ship := &fakeShip{}
+	sys, seg, ls, p, base, disk, m := rig(t, ship)
+
+	txn(sys, p, base, 1, map[uint32]uint32{0x100: 11})
+	txn(sys, p, base, 2, map[uint32]uint32{0x200: 22})
+	end := sys.K.LogAppendOffset(ls)
+	// The slowest consumer has only acked half the log.
+	ship.minAcked = uint64(end) / logrec.Size / 2
+	if err := m.Compact(p.CPU); err != nil {
+		t.Fatal(err)
+	}
+	wantCut := uint32(ship.minAcked * logrec.Size)
+	if got := sys.K.LogAppendOffset(ls); got != end-wantCut {
+		t.Fatalf("append offset = %d, want unacked tail %d", got, end-wantCut)
+	}
+	if len(ship.compacted) != 1 || ship.compacted[0] != ship.minAcked {
+		t.Fatalf("Compacted calls = %v, want one cut of %d records", ship.compacted, ship.minAcked)
+	}
+
+	// Recovery replays only past the watermark, although more physical
+	// records survive for catch-up shipping.
+	txn(sys, p, base, 3, map[uint32]uint32{0x300: 33})
+	dst := core.NewNamedSegment(sys, "recovered", segSize, nil)
+	rr, err := Recover(sys, RecoverOptions{
+		Disk: disk, Log: ls, Data: seg, Dst: dst, MarkerLimit: markerLimit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Start != end-wantCut {
+		t.Fatalf("replay start = %d, want %d (watermark - cutBase)", rr.Start, end-wantCut)
+	}
+	for off, want := range map[uint32]uint32{0x100: 11, 0x200: 22, 0x300: 33} {
+		if got := dst.Read32(off); got != want {
+			t.Fatalf("dst[%#x] = %d, want %d", off, got, want)
+		}
+	}
+}
+
+func TestInterruptedCheckpointFallsBackToPrevious(t *testing.T) {
+	sys, seg, ls, p, base, disk, m := rig(t, nil)
+
+	txn(sys, p, base, 1, map[uint32]uint32{0x100: 11})
+	if err := m.Checkpoint(p.CPU); err != nil {
+		t.Fatal(err)
+	}
+	txn(sys, p, base, 2, map[uint32]uint32{0x100: 22})
+
+	// Fail the second checkpoint's seal write (op 5 of its 6): the slot
+	// is open but never committed, so recovery must elect checkpoint 1.
+	ops := 0
+	disk.FailHook = func(op ramdisk.Op, off uint64, n int) error {
+		ops++
+		if ops == 5 {
+			return errors.New("injected seal failure")
+		}
+		return nil
+	}
+	if err := m.Checkpoint(p.CPU); err == nil {
+		t.Fatal("interrupted checkpoint reported success")
+	}
+	disk.FailHook = nil
+	if m.Seq() != 1 {
+		t.Fatalf("seq advanced to %d despite failed commit", m.Seq())
+	}
+
+	dst := core.NewNamedSegment(sys, "recovered", segSize, nil)
+	rr, err := Recover(sys, RecoverOptions{
+		Disk: disk, Log: ls, Data: seg, Dst: dst, MarkerLimit: markerLimit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.FromCheckpoint || rr.Seq != 1 {
+		t.Fatalf("rr = %+v, want fallback to committed checkpoint 1", rr)
+	}
+	if got := dst.Read32(0x100); got != 22 {
+		t.Fatalf("dst[0x100] = %d, want 22 (checkpoint 1 + replayed txn 2)", got)
+	}
+}
+
+func TestRecoverWithoutCheckpointReplaysWholeLog(t *testing.T) {
+	sys, seg, ls, p, base, disk, _ := rig(t, nil)
+	txn(sys, p, base, 1, map[uint32]uint32{0x100: 11})
+
+	dst := core.NewNamedSegment(sys, "recovered", segSize, nil)
+	rr, err := Recover(sys, RecoverOptions{
+		Disk: disk, Log: ls, Data: seg, Dst: dst, MarkerLimit: markerLimit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.FromCheckpoint || rr.Start != 0 {
+		t.Fatalf("rr = %+v, want plain full replay", rr)
+	}
+	if got := dst.Read32(0x100); got != 11 {
+		t.Fatalf("dst[0x100] = %d, want 11", got)
+	}
+}
+
+func TestTruncateAllPropagatesInjectedFailure(t *testing.T) {
+	sys, _, ls, p, base, _, m := rig(t, nil)
+	txn(sys, p, base, 1, map[uint32]uint32{0x100: 11})
+	end := sys.K.LogAppendOffset(ls)
+
+	want := errors.New("injected truncation failure")
+	m.FailHook = func() error { return want }
+	if err := m.TruncateAll(); !errors.Is(err, want) {
+		t.Fatalf("TruncateAll error = %v, want the injected failure", err)
+	}
+	if m.Stats.TruncateFailures != 1 {
+		t.Fatalf("TruncateFailures = %d, want 1", m.Stats.TruncateFailures)
+	}
+	if got := sys.K.LogAppendOffset(ls); got != end {
+		t.Fatalf("append offset moved to %d on failed truncation", got)
+	}
+	if m.CutBase() != 0 {
+		t.Fatalf("cutBase moved to %d on failed truncation", m.CutBase())
+	}
+
+	m.FailHook = nil
+	if err := m.TruncateAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.K.LogAppendOffset(ls); got != 0 {
+		t.Fatalf("append offset = %d after TruncateAll, want 0", got)
+	}
+	if m.CutBase() != uint64(end) {
+		t.Fatalf("cutBase = %d, want %d", m.CutBase(), end)
+	}
+	if m.Stats.Truncations != 1 {
+		t.Fatalf("Truncations = %d, want 1", m.Stats.Truncations)
+	}
+}
+
+func TestNewResumesCommittedGeneration(t *testing.T) {
+	sys, seg, ls, p, base, disk, m := rig(t, nil)
+	txn(sys, p, base, 1, map[uint32]uint32{0x100: 11})
+	for i := 0; i < 3; i++ {
+		if err := m.Checkpoint(p.CPU); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2, err := New(sys, Options{Data: seg, Log: ls, Disk: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Seq() != 3 {
+		t.Fatalf("restarted manager resumed at seq %d, want 3", m2.Seq())
+	}
+	// Its next checkpoint must win the slot election over the stale one.
+	if err := m2.Checkpoint(p.CPU); err != nil {
+		t.Fatal(err)
+	}
+	st, ok, err := loadState(disk, 0)
+	if err != nil || !ok {
+		t.Fatalf("loadState: ok=%v err=%v", ok, err)
+	}
+	if st.seq != 4 {
+		t.Fatalf("elected checkpoint %d, want 4", st.seq)
+	}
+}
+
+func TestCompactMidTransactionTailReplaysAcrossCut(t *testing.T) {
+	// A shipper ack can land mid-transaction: the retained tail then
+	// starts inside a txn whose commit marker is past the watermark. The
+	// replay must still converge (the image covers the overlap, and
+	// re-applying an in-order suffix of absolute writes is idempotent).
+	ship := &fakeShip{}
+	sys, seg, ls, p, base, disk, m := rig(t, ship)
+
+	txn(sys, p, base, 1, map[uint32]uint32{0x100: 11, 0x104: 12, 0x108: 13})
+	end := sys.K.LogAppendOffset(ls)
+	// Ack cursor inside txn 1 (after its begin marker + first store).
+	ship.minAcked = 2
+	if err := m.Compact(p.CPU); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.K.LogAppendOffset(ls); got != end-2*logrec.Size {
+		t.Fatalf("append offset = %d, want %d", got, end-2*logrec.Size)
+	}
+	txn(sys, p, base, 2, map[uint32]uint32{0x200: 22})
+
+	dst := core.NewNamedSegment(sys, "recovered", segSize, nil)
+	rr, err := Recover(sys, RecoverOptions{
+		Disk: disk, Log: ls, Data: seg, Dst: dst, MarkerLimit: markerLimit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.FromCheckpoint {
+		t.Fatalf("rr = %+v, want checkpoint-seeded replay", rr)
+	}
+	for off, want := range map[uint32]uint32{0x100: 11, 0x104: 12, 0x108: 13, 0x200: 22} {
+		if got := dst.Read32(off); got != want {
+			t.Fatalf("dst[%#x] = %d, want %d", off, got, want)
+		}
+	}
+}
+
+func TestManagerValidatesOptions(t *testing.T) {
+	sys := core.NewSystem(core.Config{NumCPUs: 1, MemFrames: 256})
+	seg := core.NewNamedSegment(sys, "plain", core.PageSize, nil)
+	if _, err := New(sys, Options{}); err == nil {
+		t.Fatal("New accepted a nil log")
+	}
+	if _, err := New(sys, Options{Log: seg}); err == nil {
+		t.Fatal("New accepted a non-log segment")
+	}
+	ls := core.NewLogSegment(sys, 2)
+	if _, err := New(sys, Options{Log: ls, Disk: ramdisk.New()}); err == nil {
+		t.Fatal("New accepted a checkpoint device without a data segment")
+	}
+	m, err := New(sys, Options{Log: ls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(nil); err == nil {
+		t.Fatal("Checkpoint succeeded without a device")
+	}
+	if err := m.Compact(nil); err == nil {
+		t.Fatal("Compact succeeded without a device")
+	}
+}

@@ -1,0 +1,125 @@
+package crashtest
+
+import (
+	"lvm/internal/compact"
+	"lvm/internal/core"
+	"lvm/internal/fault"
+	"lvm/internal/ramdisk"
+	"lvm/internal/recovery"
+)
+
+// runCompact drives the logged-segment workload with a compact.Manager
+// running periodic checkpoint-and-truncate cycles between transactions,
+// then recovers through compact.Recover: last committed checkpoint image
+// plus a replay of only the log tail. Crashes land before the marker
+// commit (the previous checkpoint must win the slot election), inside
+// the image write (a torn slot must be ignored), and in the window
+// between seal and hardware rewind (image-covered records replay — an
+// in-order suffix of absolute writes, which is idempotent). In every
+// case all committed transactions must reconstruct exactly.
+func runCompact(t template, plan fault.Plan, short bool) (outcome, uint64) {
+	const segSize = 64 * 1024
+	const markerLimit = 16
+	const compactEvery = 4 // batches between compaction cycles
+	stores := 4096
+	if short {
+		stores = 1024
+	}
+	logPages := uint32(3*stores*16/int(core.PageSize)) + 8
+	sys := core.NewSystem(core.Config{
+		NumCPUs:   1,
+		MemFrames: int(segSize/core.PageSize) + int(logPages) + 4096,
+	})
+	seg := core.NewNamedSegment(sys, "ct-data", segSize, nil)
+	reg := core.NewStdRegion(sys, seg)
+	ls := core.NewLogSegment(sys, logPages)
+	if err := reg.Log(ls); err != nil {
+		return failf(plan, "setup err=%v", err), 0
+	}
+	as := sys.NewAddressSpace()
+	base, err := reg.Bind(as, 0)
+	if err != nil {
+		return failf(plan, "setup err=%v", err), 0
+	}
+	p := sys.NewProcess(0, as)
+	disk := ramdisk.New()
+	mgr, err := compact.New(sys, compact.Options{Data: seg, Log: ls, Disk: disk})
+	if err != nil {
+		return failf(plan, "setup err=%v", err), 0
+	}
+
+	in := fault.New(plan)
+	in.Arm(sys, disk, ls, seg, markerLimit)
+
+	var committed [][]write
+	var pending []write
+	var crash *fault.Crash
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c, isCrash := r.(*fault.Crash)
+				if !isCrash {
+					panic(r)
+				}
+				crash = c
+			}
+		}()
+		wr := fault.NewRNG(plan.Seed + 1)
+		seq := uint32(0)
+		batches := 0
+		for s := 0; s < stores; {
+			seq++
+			pending = pending[:0]
+			p.Store32(base, seq) // begin marker
+			n := 1 + wr.Intn(t.maxBatch)
+			for j := 0; j < n; j++ {
+				off := uint32(markerLimit) + uint32(wr.Intn((segSize-markerLimit)/4))*4
+				val := uint32(wr.Next())
+				p.Store32(base+off, val)
+				pending = append(pending, write{off, val})
+				s++
+			}
+			p.Store32(base, seq|recovery.MarkerCommit) // commit marker
+			sys.Sync()                                 // durability fence
+			committed = append(committed, append([]write(nil), pending...))
+			pending = pending[:0]
+			batches++
+			if batches%compactEvery == 0 {
+				if err := mgr.Compact(p.CPU); err != nil {
+					// A refused compaction is not a workload failure: the
+					// log keeps its records and recovery falls back to a
+					// longer replay. (Injected crashes unwind as panics,
+					// not errors, so this is only ever a device refusal.)
+					continue
+				}
+			}
+		}
+	}()
+	elapsed := sys.Elapsed()
+
+	// Recovery: checkpoint image + tail replay into a fresh segment, the
+	// disk behind bounded retry exactly as TPC-A recovery wraps it.
+	in.SetRecoveryMode(true)
+	dst := core.NewNamedSegment(sys, "ct-recovered", segSize, nil)
+	rr, err := compact.Recover(sys, compact.RecoverOptions{
+		Disk: recovery.NewRetryDisk(disk, nil, sys.DeviceShard()),
+		Log:  ls, Data: seg, Dst: dst, MarkerLimit: markerLimit,
+	})
+	if err != nil {
+		return failf(plan, "recovery err=%v", err), elapsed
+	}
+	rep := in.Report()
+
+	// Reference: every committed (marker-bracketed, synced) batch. The
+	// plans here injure nothing but timing, so recovery owes an exact
+	// reconstruction — any quarantine is unexplained damage and fails.
+	expected := recovery.NewShadow(segSize)
+	for _, b := range committed {
+		for _, wv := range b {
+			expected.Write32(wv.off, wv.val)
+		}
+	}
+	verdict, diffs := classify(expected, pending, dst, markerLimit, rr.Result, rep)
+	return mkOutcome(t.name, plan, verdict, crash, "", rep, rr.Result, diffs), elapsed
+}

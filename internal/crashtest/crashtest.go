@@ -36,13 +36,18 @@ type Options struct {
 // template is one row of the fault matrix.
 type template struct {
 	name     string
-	scenario string // "log", "rvm" or "rlvm"
+	scenario string // "log", "compact", "rvm" or "rlvm"
 	// maxBatch bounds the stores per transaction of the log workload.
 	maxBatch int
 	// needsDry: the plan derives its crash cycle from a fault-free dry
 	// run of the same seeded workload.
 	needsDry bool
 	plan     func(seed uint64, dryElapsed uint64) fault.Plan
+	// armExtra, when set, arms scenario-level triggers the generic plan
+	// fields cannot reach — e.g. a compact.Manager FailHook that crashes
+	// inside the WAL-reset-to-log-truncation window. Called after
+	// Injector.Arm with the engine under test.
+	armExtra func(in *fault.Injector, eng engine, plan fault.Plan)
 }
 
 func templates() []template {
@@ -99,6 +104,39 @@ func templates() []template {
 		{name: "rlvm/disk-transient", scenario: "rlvm",
 			plan: func(seed, dry uint64) fault.Plan {
 				return fault.Plan{DiskFailEveryN: 40 + int(seed%20), DiskFailBurst: 2}
+			}},
+		// The regression row for the swallowed-TruncateLog bug: die inside
+		// Truncate's WAL-reset-to-log-truncation window — the WAL is
+		// already empty, the durable image already rolled forward, the LVM
+		// log not yet cut. Committed state must recover exactly.
+		{name: "rlvm/trunc-window", scenario: "rlvm",
+			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{} },
+			armExtra: func(in *fault.Injector, eng engine, plan fault.Plan) {
+				e, isRLVM := eng.(rlvmEngine)
+				if !isRLVM {
+					return
+				}
+				target := 1 + int(plan.Seed%2)
+				truncs := 0
+				e.m.CompactManager().FailHook = func() error {
+					truncs++
+					if truncs == target {
+						in.CrashNow("trunc-window")
+					}
+					return nil
+				}
+			}},
+		{name: "compact/clean", scenario: "compact", maxBatch: 24,
+			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{} }},
+		{name: "compact/crash-diskop", scenario: "compact", maxBatch: 24,
+			plan: func(seed, dry uint64) fault.Plan {
+				// 6 device ops per compaction cycle: the seeds land crashes
+				// before the marker commit, mid-snapshot, and after it.
+				return fault.Plan{CrashAtDiskOp: 1 + int(seed*5%28)}
+			}},
+		{name: "compact/crash-cycle", scenario: "compact", maxBatch: 24, needsDry: true,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{CrashAtCycle: dry * (20 + seed*7%61) / 100}
 			}},
 	}
 }
@@ -175,8 +213,11 @@ func runPlan(t template, ti int, seed uint64, short bool) (out outcome) {
 }
 
 func runScenario(t template, plan fault.Plan, short bool) (outcome, uint64) {
-	if t.scenario == "log" {
+	switch t.scenario {
+	case "log":
 		return runLog(t, plan, short)
+	case "compact":
+		return runCompact(t, plan, short)
 	}
 	return runTPCA(t, plan, short)
 }
@@ -358,6 +399,9 @@ func runTPCA(t template, plan fault.Plan, short bool) (outcome, uint64) {
 		in.Arm(sys, disk, e.m.LogSegment(), e.m.Segment(), rlvm.MarkerBytes)
 	} else {
 		in.Arm(sys, disk, nil, nil, 0)
+	}
+	if t.armExtra != nil {
+		t.armExtra(in, eng, plan)
 	}
 
 	shadow := recovery.NewShadow(lay.Size + markerAdj)

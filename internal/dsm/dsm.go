@@ -316,6 +316,19 @@ func (c *Consumer) ApplyRecord(off uint32, val uint32, size uint16) {
 	c.ApplyCycles += c.p.Now() - start
 }
 
+// ApplyImage installs a chunk of a producer segment image at the given
+// offset — the snapshot catch-up path of the logship layer, used when a
+// replica's cursor predates the producer's log compaction cut and the
+// records it is missing no longer exist. The chunk lands raw; cost is
+// charged per word like Apply.
+func (c *Consumer) ApplyImage(off uint32, b []byte) {
+	start := c.p.Now()
+	c.p.Compute(uint64(len(b)/4+1) * ApplyWordCycles)
+	c.seg.RawWrite(off, b)
+	c.ApplyCycles += c.p.Now() - start
+	c.BytesRecv += uint64(len(b))
+}
+
 // Word reads one replica word (raw).
 func (c *Consumer) Word(off uint32) uint32 { return c.seg.Read32(off) }
 

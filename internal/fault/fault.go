@@ -436,6 +436,18 @@ func (in *Injector) diskHook(op ramdisk.Op, off uint64, n int) error {
 	return nil
 }
 
+// CrashNow fires the crash machinery from client code — the surface a
+// scenario uses to die inside a software window no device-op count can
+// reach deterministically (e.g. between a WAL reset and the LVM-log
+// truncation, via compact.Manager.FailHook). Like every trigger it is a
+// no-op while disarmed, in recovery mode, or after the first crash.
+func (in *Injector) CrashNow(cause string) {
+	if in.sys == nil || in.recovery {
+		return
+	}
+	in.crash(cause, in.sys.Elapsed())
+}
+
 // crash simulates the machine dying: capture then discard the volatile
 // FIFO contents (ground truth — a power loss destroys them), apply the
 // planned log-tail truncation, and unwind with the Crash sentinel. Only

@@ -6,9 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"lvm/internal/compact"
 	"lvm/internal/core"
 	"lvm/internal/dsm"
 	"lvm/internal/logrec"
+	"lvm/internal/ramdisk"
 )
 
 const shared = 8 * core.PageSize
@@ -367,5 +369,101 @@ func TestRebaseForcesResync(t *testing.T) {
 	}
 	if ship.Epoch() != 2 {
 		t.Fatalf("epoch = %d, want 2", ship.Epoch())
+	}
+}
+
+// TestShipAcrossCompaction is the acceptance scenario for checkpointed
+// compaction under replication: replica B dies, the producer compacts its
+// log (the cut bounded by live replica A's acks), and B reconnects to a
+// log that no longer holds the records it missed. B must converge via the
+// snapshot catch-up path — image plus live tail — without the shipper
+// bumping its epoch (no full resync), while A streams straight through
+// the compaction untouched.
+func TestShipAcrossCompaction(t *testing.T) {
+	ln, dial := NewMemTransport()
+	sys, prod, ship := newProducer(t, ln, Config{FlushRecords: 8})
+	mgr, err := compact.New(sys, compact.Options{
+		Data: prod.Segment(),
+		Log:  prod.LogSegment(),
+		Disk: ramdisk.New(),
+		Ship: ship,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := connectReplica(t, dial)
+	rb := connectReplica(t, dial)
+
+	write := func(i uint32) { prod.Write((i*44)%shared&^3, 0xC000+i) }
+
+	// Both replicas ack the first tranche; then B dies.
+	for i := uint32(0); i < 60; i++ {
+		write(i)
+	}
+	if err := ship.ReleaseShip(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rb.Kill()
+	bSeq := rb.LastSeq()
+	if bSeq == 0 {
+		t.Fatal("replica B never acked before the crash")
+	}
+
+	// More writes reach only A, then the producer compacts. A has acked
+	// everything, so the whole physical log is cut; the records B is
+	// missing no longer exist anywhere but in the checkpoint image.
+	for i := uint32(60); i < 140; i++ {
+		write(i)
+	}
+	if err := ship.ReleaseShip(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Compact(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ship.Base() == 0 {
+		t.Fatal("compaction did not advance the shipper base")
+	}
+	if bSeq >= ship.Base() {
+		t.Fatalf("test premise broken: B's cursor %d survived the cut at %d", bSeq, ship.Base())
+	}
+
+	// Post-compaction writes ship with logical sequences continuing past
+	// the cut; then B reconnects from its pre-cut cursor.
+	for i := uint32(140); i < 200; i++ {
+		write(i)
+	}
+	if err := ship.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(200); i < 220; i++ {
+		write(i)
+	}
+	if err := ship.ReleaseShip(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, r := range map[string]*Replica{"A": ra, "B": rb} {
+		if err := dsm.Verify(prod.Segment(), r.Consumer(), shared); err != nil {
+			t.Fatalf("replica %s: %v", name, err)
+		}
+	}
+	if ship.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1 (compaction must not force a resync)", ship.Epoch())
+	}
+	if got := ship.Stats.SnapshotsShipped.Load(); got != 1 {
+		t.Fatalf("snapshots shipped = %d, want 1", got)
+	}
+	if got := rb.Stats.SnapshotsApplied.Load(); got != 1 {
+		t.Fatalf("replica B snapshots applied = %d, want 1", got)
+	}
+	if got := ra.Stats.SnapshotsApplied.Load(); got != 0 {
+		t.Fatalf("replica A applied %d snapshots, want 0 (it streamed through)", got)
+	}
+	if rb.LastSeq() != ship.SealedSeq() {
+		t.Fatalf("replica B cursor = %d, want %d", rb.LastSeq(), ship.SealedSeq())
 	}
 }

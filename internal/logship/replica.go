@@ -161,6 +161,12 @@ func (r *Replica) consume(c net.Conn) {
 			return
 		}
 		r.Stats.BytesReceived.Add(uint64(headerSize + len(payload) + crcSize))
+		if typ == typeSnapshot {
+			if !r.applySnapshot(c, payload) {
+				return
+			}
+			continue
+		}
 		if typ != typeBatch {
 			continue
 		}
@@ -190,6 +196,37 @@ func (r *Replica) consume(c net.Conn) {
 			return
 		}
 	}
+}
+
+// applySnapshot applies one chunk of a catch-up segment image (shipped
+// when this replica's cursor predates the shipper's compaction cut). The
+// cursor advances — and the ack goes out — only on the final chunk, so a
+// torn snapshot is never acked and the next session restarts it. Chunks
+// overwrite raw: the image is at least as new as anything the replica
+// holds, and records newer than coverSeq that it happens to include are
+// re-asserted by the batches that follow.
+func (r *Replica) applySnapshot(c net.Conn, payload []byte) bool {
+	h, data, err := decodeSnapshot(payload)
+	if err != nil {
+		r.Stats.QuarantinedFrames.Add(1)
+		r.err = err
+		return false
+	}
+	if h.segSize != r.size {
+		r.Stats.QuarantinedFrames.Add(1)
+		r.err = fmt.Errorf("logship: snapshot of a %d-byte segment, replica is %d", h.segSize, r.size)
+		return false
+	}
+	r.cons.ApplyImage(h.off, data)
+	r.Stats.SnapshotBytes.Add(uint64(len(data)))
+	if uint64(h.off)+uint64(len(data)) < uint64(h.segSize) {
+		return true // more chunks coming
+	}
+	r.Stats.SnapshotsApplied.Add(1)
+	if h.coverSeq > r.lastSeq {
+		r.lastSeq = h.coverSeq
+	}
+	return r.sendAck(c, r.lastSeq)
 }
 
 // applyBatch validates and applies every record of a batch. The first

@@ -100,7 +100,8 @@ type Shipper struct {
 
 	// Shared with handshake goroutines.
 	epoch  atomic.Uint32
-	seq    atomic.Uint64 // log index of the next unscanned record
+	seq    atomic.Uint64 // logical index of the next unscanned record
+	base   atomic.Uint64 // logical index of physical log byte 0 (compaction cut)
 	joinCh chan *shipConn
 	ack    chan struct{} // pinged on every ack, cap 1
 
@@ -328,7 +329,7 @@ func (s *Shipper) Flush() error {
 			s.seal()
 		}
 	}
-	s.seq.Store(uint64(s.reader.Offset()) / logrec.Size)
+	s.seq.Store(s.base.Load() + uint64(s.reader.Offset())/logrec.Size)
 	return nil
 }
 
@@ -346,7 +347,7 @@ func (s *Shipper) FlushAll() error {
 // An empty batch still ships if the cursor advanced (records for other
 // segments sharing the log), so acks keep moving.
 func (s *Shipper) seal() {
-	endSeq := uint64(s.reader.Offset()) / logrec.Size
+	endSeq := s.base.Load() + uint64(s.reader.Offset())/logrec.Size
 	if endSeq == s.sealedSeq && s.batchCount == 0 {
 		return
 	}
@@ -417,22 +418,36 @@ func (s *Shipper) admitJoins() error {
 	}
 }
 
-// catchUp ships the log tail [c.start, sealedSeq) to one consumer.
+// catchUp ships the tail [c.start, sealedSeq) to one consumer. A cursor
+// that predates the compaction base points at records the log no longer
+// holds, so those consumers get the segment image (shipSnapshot) instead
+// of a record replay; everyone else is caught up by re-reading the log,
+// exactly as crash recovery re-reads a surviving log.
 func (s *Shipper) catchUp(c *shipConn) error {
 	if c.start >= s.sealedSeq {
 		return nil
 	}
+	logBase := s.base.Load()
+	if c.start < logBase {
+		s.shipSnapshot(c)
+		c.start = s.sealedSeq
+		return nil
+	}
 	r := core.NewLogReader(s.sys, s.ls)
-	if err := r.Seek(uint32(c.start) * logrec.Size); err != nil {
+	lo, hi, err := physRange(c.start, s.sealedSeq, logBase, s.ls.Size())
+	if err != nil {
+		return err
+	}
+	if err := r.Seek(lo); err != nil {
 		return fmt.Errorf("logship: catch-up seek: %w", err)
 	}
-	r.SetEnd(uint32(s.sealedSeq) * logrec.Size)
+	r.SetEnd(hi)
 	var scratch [logrec.Size]byte
 	var records []byte
 	base := c.start
 	count := 0
 	flush := func() {
-		end := uint64(r.Offset()) / logrec.Size
+		end := logBase + uint64(r.Offset())/logrec.Size
 		frame := encodeFrame(typeBatch, encodeBatch(batchHeader{
 			baseSeq: base,
 			endSeq:  end,
@@ -463,6 +478,82 @@ func (s *Shipper) catchUp(c *shipConn) error {
 	}
 	if count > 0 || base < s.sealedSeq {
 		flush()
+	}
+	return nil
+}
+
+// shipSnapshot streams the producer's current segment image to one
+// consumer in chunked snapshot frames. coverSeq is the sealed cursor:
+// the image reflects at least every record below it (it may also carry
+// newer bytes, which the records that logged them re-assert when their
+// batches arrive — absolute writes replayed in order are idempotent, the
+// same argument compact.Manager makes for its checkpoint images). The
+// replica acks coverSeq only once the final chunk lands, so a torn
+// snapshot is re-sent from scratch on reconnect.
+func (s *Shipper) shipSnapshot(c *shipConn) {
+	size := s.data.Size()
+	cover := s.sealedSeq
+	buf := make([]byte, snapChunkBytes)
+	for off := uint32(0); off < size; {
+		n := uint32(len(buf))
+		if off+n > size {
+			n = size - off
+		}
+		s.data.ReadInto(off, buf[:n])
+		frame := encodeFrame(typeSnapshot, encodeSnapshot(snapHeader{
+			coverSeq: cover,
+			segSize:  size,
+			off:      off,
+		}, buf[:n]))
+		s.offer(c, frame)
+		off += n
+	}
+	s.Stats.SnapshotsShipped.Add(1)
+	s.Stats.SnapshotBytes.Add(uint64(size))
+}
+
+// MinAcked reports the lowest sequence any live consumer has
+// acknowledged — the replication bound on how far the log may safely be
+// truncated (compact.Shipper). ^uint64(0) when no consumer is attached.
+// Producer thread only.
+func (s *Shipper) MinAcked() uint64 {
+	min := ^uint64(0)
+	for _, c := range s.conns {
+		if c.dead.Load() {
+			continue
+		}
+		if a := c.acked.Load(); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// Base reports the logical sequence of physical log byte 0 — how many
+// records compaction has cut. Producer thread only (reads are exact only
+// there; elsewhere it is a monotonic lower bound).
+func (s *Shipper) Base() uint64 { return s.base.Load() }
+
+// Compacted tells the shipper the producer cut cutRecords records off
+// the log's head (internal/compact): the base advances so logical
+// sequence numbers stay monotonic, and the reader re-seeks its physical
+// position. No epoch bump, no disconnects — consumers at or beyond the
+// cut continue seamlessly, and any that later resume from below it are
+// caught up with a snapshot instead of a full resync. Producer thread
+// only.
+func (s *Shipper) Compacted(cutRecords uint64) error {
+	if cutRecords == 0 {
+		return nil
+	}
+	s.reader.Sync()
+	phys := uint64(s.reader.Offset())
+	cutBytes := cutRecords * logrec.Size
+	if cutBytes > phys {
+		return fmt.Errorf("logship: compaction cut %d bytes but only %d scanned", cutBytes, phys)
+	}
+	s.base.Add(cutRecords)
+	if err := s.reader.Seek(uint32(phys - cutBytes)); err != nil {
+		return fmt.Errorf("logship: post-compaction reseek: %w", err)
 	}
 	return nil
 }
@@ -530,6 +621,7 @@ func (s *Shipper) Rebase() error {
 	}
 	s.sealedSeq = 0
 	s.seq.Store(0)
+	s.base.Store(0)
 	s.batch = s.batch[:0]
 	s.batchCount = 0
 	for _, c := range s.conns {

@@ -18,6 +18,12 @@ type ShipStats struct {
 	Joins          atomic.Uint64 // handshakes completed
 	Reconnects     atomic.Uint64 // joins that resumed a previous session
 	CatchupRecords atomic.Uint64 // records re-read from the log for rejoining consumers
+
+	// SnapshotsShipped counts consumers caught up by segment image
+	// because their cursor predated the compaction base; SnapshotBytes is
+	// the image bytes those snapshots carried.
+	SnapshotsShipped atomic.Uint64
+	SnapshotBytes    atomic.Uint64
 }
 
 // Collect is a metrics.Collector emitting the shipper's counters.
@@ -31,6 +37,8 @@ func (s *ShipStats) Collect(emit func(name string, v uint64)) {
 	emit("logship.joins", s.Joins.Load())
 	emit("logship.reconnects", s.Reconnects.Load())
 	emit("logship.catchup_records", s.CatchupRecords.Load())
+	emit("logship.snapshots_shipped", s.SnapshotsShipped.Load())
+	emit("logship.snapshot_bytes", s.SnapshotBytes.Load())
 }
 
 // ReplicaStats are the consumer-side counters, surfaced in the replica
@@ -43,6 +51,11 @@ type ReplicaStats struct {
 	Reconnects         atomic.Uint64 // sessions beyond the first
 	QuarantinedFrames  atomic.Uint64 // frames rejected (torn, corrupt, invalid record)
 	QuarantinedRecords atomic.Uint64 // records discarded with those frames
+
+	// SnapshotsApplied counts complete segment images applied during
+	// catch-up across a compaction; SnapshotBytes is their image bytes.
+	SnapshotsApplied atomic.Uint64
+	SnapshotBytes    atomic.Uint64
 }
 
 // Collect is a metrics.Collector emitting the replica's counters.
@@ -54,4 +67,6 @@ func (s *ReplicaStats) Collect(emit func(name string, v uint64)) {
 	emit("logship.replica_reconnects", s.Reconnects.Load())
 	emit("logship.replica_quarantined_frames", s.QuarantinedFrames.Load())
 	emit("logship.replica_quarantined_records", s.QuarantinedRecords.Load())
+	emit("logship.replica_snapshots_applied", s.SnapshotsApplied.Load())
+	emit("logship.replica_snapshot_bytes", s.SnapshotBytes.Load())
 }

@@ -15,21 +15,30 @@
 // sequence number after a crash or disconnect — the same
 // degrade-don't-panic posture as internal/recovery.Replay.
 //
-// Wire protocol (version 1, little-endian):
+// Wire protocol (version 2, little-endian):
 //
-//	frame   := magic(4)="LVSH" ver(1) type(1) flags(2) len(4) payload len-bytes crc32(4)
-//	hello   := lastSeq(8) epoch(4) segSize(4)            replica → shipper
-//	welcome := startSeq(8) epoch(4) segSize(4)           shipper → replica
-//	batch   := baseSeq(8) endSeq(8) count(4) count×16-byte records
-//	ack     := seq(8)                                    replica → shipper
+//	frame    := magic(4)="LVSH" ver(1) type(1) flags(2) len(4) payload len-bytes crc32(4)
+//	hello    := lastSeq(8) epoch(4) segSize(4)            replica → shipper
+//	welcome  := startSeq(8) epoch(4) segSize(4)           shipper → replica
+//	batch    := baseSeq(8) endSeq(8) count(4) count×16-byte records
+//	ack      := seq(8)                                    replica → shipper
+//	snapshot := coverSeq(8) segSize(4) off(4) image-chunk shipper → replica
 //
-// Sequence numbers are log-record indices in the producer's log segment
-// (offset / 16), so an ack doubles as a catch-up cursor: a reconnecting
-// replica's lastSeq tells the shipper exactly where to rescan the log.
-// The epoch is the log generation; it bumps when the producer truncates
-// the log, and a stale-epoch hello forces a full resync from sequence 0.
-// Record address fields are rewritten to segment offsets before shipping:
-// replicas never see (and could not resolve) producer physical addresses.
+// Sequence numbers are logical log-record indices: physical log offset /
+// 16 plus the shipper's compaction base, so they stay monotonic across
+// log compactions (internal/compact) and an ack doubles as a catch-up
+// cursor. The epoch is the log generation; it bumps only when the
+// producer rewinds the log outside compaction, and a stale-epoch hello
+// forces a resync. Version 2 adds the snapshot frame: a replica whose
+// cursor predates the compaction cut (or that needs a full resync under
+// a compacted log) receives the producer's current segment image in
+// chunks — covering every record below coverSeq — followed by the live
+// tail, instead of a re-scan of log records the producer no longer has.
+// The replica applies chunks raw and acks coverSeq when the final chunk
+// (off+len == segSize) lands; a torn snapshot is never acked, so a
+// reconnect restarts it. Record address fields are rewritten to segment
+// offsets before shipping: replicas never see (and could not resolve)
+// producer physical addresses.
 package logship
 
 import (
@@ -45,8 +54,9 @@ import (
 const (
 	// Magic is the frame preamble, "LVSH" in little-endian.
 	Magic = uint32(0x4853564C)
-	// Version is the wire protocol version this package speaks.
-	Version = 1
+	// Version is the wire protocol version this package speaks (2 added
+	// the snapshot frame for catch-up across log compactions).
+	Version = 2
 
 	headerSize = 12
 	crcSize    = 4
@@ -58,10 +68,11 @@ const (
 
 // Frame types.
 const (
-	typeHello   = byte(1)
-	typeWelcome = byte(2)
-	typeBatch   = byte(3)
-	typeAck     = byte(4)
+	typeHello    = byte(1)
+	typeWelcome  = byte(2)
+	typeBatch    = byte(3)
+	typeAck      = byte(4)
+	typeSnapshot = byte(5)
 )
 
 // ErrCorrupt marks a frame that failed structural validation: bad magic,
@@ -227,6 +238,42 @@ func decodeAck(p []byte) (uint64, error) {
 	return get64(p), nil
 }
 
+// snapHeader precedes each image chunk of a snapshot. coverSeq is the
+// logical sequence the full image covers (the replica's cursor after the
+// final chunk); off is the chunk's byte offset within the segment.
+type snapHeader struct {
+	coverSeq uint64
+	segSize  uint32
+	off      uint32
+}
+
+const snapHeaderSize = 16
+
+// snapChunkBytes bounds one snapshot chunk, comfortably under maxPayload.
+const snapChunkBytes = 64 * 1024
+
+func encodeSnapshot(h snapHeader, data []byte) []byte {
+	b := make([]byte, snapHeaderSize+len(data))
+	put64(b, h.coverSeq)
+	put32(b[8:], h.segSize)
+	put32(b[12:], h.off)
+	copy(b[snapHeaderSize:], data)
+	return b
+}
+
+func decodeSnapshot(p []byte) (snapHeader, []byte, error) {
+	if len(p) <= snapHeaderSize {
+		return snapHeader{}, nil, fmt.Errorf("%w: snapshot payload %d bytes", ErrCorrupt, len(p))
+	}
+	h := snapHeader{coverSeq: get64(p), segSize: get32(p[8:]), off: get32(p[12:])}
+	data := p[snapHeaderSize:]
+	if uint64(h.off)+uint64(len(data)) > uint64(h.segSize) {
+		return snapHeader{}, nil, fmt.Errorf("%w: snapshot chunk [%d,%d) leaves the %d-byte segment",
+			ErrCorrupt, h.off, uint64(h.off)+uint64(len(data)), h.segSize)
+	}
+	return h, data, nil
+}
+
 // negotiateStart decides where shipping resumes for a replica that said
 // hello: from its last acked sequence when the log generation matches and
 // the claim is plausible, from zero (full resync) otherwise.
@@ -235,4 +282,28 @@ func negotiateStart(h hello, curEpoch uint32, curSeq uint64) uint64 {
 		return 0
 	}
 	return h.lastSeq
+}
+
+// physRange maps the logical sequence range [start, end) onto physical
+// byte offsets of the log segment, given the compaction base (the
+// logical sequence of physical byte 0) and the segment size. All
+// arithmetic is 64-bit: sequences grow without bound once the log is
+// compacted, so narrowing before the multiply (the old
+// uint32(seq)*logrec.Size) computes garbage offsets for seq >= 2^28.
+// Out-of-range inputs — a cursor below the base (those records were cut)
+// or beyond the log — are explicit errors, never a wrapped offset.
+func physRange(start, end, base uint64, logSize uint32) (lo, hi uint32, err error) {
+	if start < base {
+		return 0, 0, fmt.Errorf("logship: catch-up start seq %d predates compaction base %d", start, base)
+	}
+	if end < start {
+		return 0, 0, fmt.Errorf("logship: catch-up range [%d,%d) is inverted", start, end)
+	}
+	lo64 := (start - base) * logrec.Size
+	hi64 := (end - base) * logrec.Size
+	if hi64 > uint64(logSize) {
+		return 0, 0, fmt.Errorf("logship: catch-up range [%d,%d) ends %d bytes into a %d-byte log",
+			start, end, hi64, logSize)
+	}
+	return uint32(lo64), uint32(hi64), nil
 }

@@ -102,6 +102,70 @@ func TestBatchValidation(t *testing.T) {
 	}
 }
 
+func TestSnapshotRoundTrip(t *testing.T) {
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	payload := encodeSnapshot(snapHeader{coverSeq: 1 << 40, segSize: 4096, off: 512}, data)
+	typ, got, err := readFrame(bytes.NewReader(encodeFrame(typeSnapshot, payload)))
+	if err != nil || typ != typeSnapshot {
+		t.Fatalf("readFrame: %v type %d", err, typ)
+	}
+	h, chunk, err := decodeSnapshot(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.coverSeq != 1<<40 || h.segSize != 4096 || h.off != 512 {
+		t.Fatalf("snapshot header = %+v", h)
+	}
+	if !bytes.Equal(chunk, data) {
+		t.Fatal("snapshot chunk bytes differ")
+	}
+
+	// Empty chunk and chunk escaping the segment are structural damage.
+	if _, _, err := decodeSnapshot(payload[:snapHeaderSize]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty chunk: err = %v", err)
+	}
+	bad := encodeSnapshot(snapHeader{coverSeq: 1, segSize: 4096, off: 4000}, data)
+	if _, _, err := decodeSnapshot(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-segment chunk: err = %v", err)
+	}
+}
+
+// TestPhysRange pins the 64-bit catch-up offset math. The old code
+// computed uint32(seq) * logrec.Size, which silently wraps for any
+// sequence at or past 2^28 (offset 2^32); with a compaction base the
+// physical offset is small even when sequences are huge, and out-of-range
+// cursors must be explicit errors, never wrapped offsets.
+func TestPhysRange(t *testing.T) {
+	const big = uint64(1) << 28 // uint32(big)*16 == 0: the old overflow
+	cases := []struct {
+		start, end, base uint64
+		logSize          uint32
+		lo, hi           uint32
+		wantErr          bool
+		scenario         string
+	}{
+		{0, 4, 0, 256, 0, 64, false, "uncompacted log"},
+		{big + 2, big + 4, big, 256, 32, 64, false, "huge seqs, small offsets past 2^28"},
+		{big, big + 16, big - 16, 512, 256, 512, false, "boundary seq lands mid-log"},
+		{10, 20, 16, 4096, 0, 0, true, "cursor predates the compaction cut"},
+		{20, 10, 0, 4096, 0, 0, true, "inverted range"},
+		{0, 300, 0, 4096, 0, 0, true, "range past the log end"},
+	}
+	for _, c := range cases {
+		lo, hi, err := physRange(c.start, c.end, c.base, c.logSize)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v", c.scenario, err, c.wantErr)
+			continue
+		}
+		if err == nil && (lo != c.lo || hi != c.hi) {
+			t.Errorf("%s: range = [%d,%d), want [%d,%d)", c.scenario, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
 func TestNegotiateStart(t *testing.T) {
 	cases := []struct {
 		h        hello

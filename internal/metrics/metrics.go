@@ -79,6 +79,17 @@ const (
 	RecoveryInvalidRecords // records rejected by replay validation
 	QuarantinedBytes       // log bytes quarantined as a damaged tail
 
+	// Checkpointed log compaction (internal/compact; Sections 2.4, 4.2):
+	// the log-prefix lifecycle — image snapshots behind a marker-word
+	// commit, safe-point truncations, and the replay bytes those
+	// checkpoints let recovery skip.
+	CompactCheckpoints      // durable checkpoint images committed
+	CompactSnapshotBytes    // image bytes written to the checkpoint device
+	CompactTruncations      // log-prefix truncations (incl. full truncates)
+	CompactBytesTruncated   // log bytes discarded by truncation
+	CompactTruncateFailures // truncations that failed and were surfaced
+	RecoverySkippedBytes    // log bytes checkpoint-aware replay skipped
+
 	// NumIDs is the counter-array length; keep it last.
 	NumIDs
 )
@@ -132,6 +143,13 @@ var counterMeta = [NumIDs]struct {
 	RecoveryRetries:        {"recovery.retries", KindSum},
 	RecoveryInvalidRecords: {"recovery.invalid_records", KindSum},
 	QuarantinedBytes:       {"recovery.quarantined_bytes", KindSum},
+
+	CompactCheckpoints:      {"compact.checkpoints", KindSum},
+	CompactSnapshotBytes:    {"compact.snapshot_bytes", KindSum},
+	CompactTruncations:      {"compact.truncations", KindSum},
+	CompactBytesTruncated:   {"compact.bytes_truncated", KindSum},
+	CompactTruncateFailures: {"compact.truncate_failures", KindSum},
+	RecoverySkippedBytes:    {"recovery.replay_skipped_bytes", KindSum},
 }
 
 // Name returns a counter's snapshot name.

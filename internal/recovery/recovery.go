@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"lvm/internal/core"
+	"lvm/internal/logrec"
 	"lvm/internal/machine"
 	"lvm/internal/metrics"
 	"lvm/internal/ramdisk"
@@ -50,6 +51,12 @@ type ReplayOptions struct {
 	// 0 = ask the kernel for the hardware append offset. Crash recovery
 	// sets this when the device head did not survive the crash.
 	End uint32
+	// Start is the log offset the scan begins at — a committed
+	// checkpoint's replay-skip point (internal/compact), making recovery
+	// O(tail) instead of O(log). It is rounded down to a record boundary;
+	// state the skipped prefix described must come from the checkpoint
+	// image the caller loaded into Dst. 0 replays the whole log.
+	Start uint32
 }
 
 // Result reports what one replay did and what it could not recover.
@@ -88,6 +95,20 @@ func Replay(sys *core.System, o ReplayOptions) Result {
 	r := core.NewLogReader(sys, o.Log)
 	if o.End != 0 {
 		r.SetEnd(o.End)
+	}
+	if start := o.Start - o.Start%logrec.Size; start > 0 {
+		if start > r.End() {
+			start = r.End()
+		}
+		if err := r.Seek(start); err != nil {
+			// Unreachable (start is record-aligned by construction), but a
+			// misplaced scan must never be papered over: replay nothing and
+			// report the whole range as an unrecovered tail.
+			res.QuarantinedFrom = 0
+			res.QuarantinedBytes = r.End()
+			return res
+		}
+		sh.Add(metrics.RecoverySkippedBytes, uint64(start))
 	}
 	var batch []core.Record
 	for {

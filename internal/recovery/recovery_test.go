@@ -261,3 +261,40 @@ func TestResultString(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%+v", r)
 }
+
+func TestReplayStartSkipsCheckpointedPrefix(t *testing.T) {
+	sys, seg, ls, p, base := logRig(t)
+
+	p.Store32(base, 1)
+	p.Store32(base+0x100, 11)
+	p.Store32(base, 1|MarkerCommit)
+	sys.Sync()
+	mark := sys.K.LogAppendOffset(ls) // a checkpoint's replay-skip point
+	p.Store32(base, 2)
+	p.Store32(base+0x200, 22)
+	p.Store32(base, 2|MarkerCommit)
+	sys.Sync()
+
+	dst := core.NewNamedSegment(sys, "recovered", segSize, nil)
+	res := Replay(sys, ReplayOptions{Log: ls, Data: seg, Dst: dst, MarkerLimit: markerLimit, Start: mark})
+	if res.Scanned != 3 || res.Txns != 1 || res.Applied != 1 {
+		t.Fatalf("result = %+v, want only txn 2's 3-record tail", res)
+	}
+	if dst.Read32(0x200) != 22 {
+		t.Fatalf("tail write not applied: %d", dst.Read32(0x200))
+	}
+	if dst.Read32(0x100) != 0 {
+		t.Fatalf("skipped prefix was replayed: %d", dst.Read32(0x100))
+	}
+	// A misaligned Start rounds down to the record boundary; one past the
+	// end scans nothing rather than faulting.
+	res = Replay(sys, ReplayOptions{Log: ls, Data: seg, Dst: nil, MarkerLimit: markerLimit, Start: mark + 3})
+	if res.Scanned != 3 {
+		t.Fatalf("misaligned Start scanned %d records, want 3", res.Scanned)
+	}
+	end := sys.K.LogAppendOffset(ls)
+	res = Replay(sys, ReplayOptions{Log: ls, Data: seg, Dst: nil, MarkerLimit: markerLimit, Start: end + logrec.Size})
+	if res.Scanned != 0 || res.Quarantined() {
+		t.Fatalf("past-end Start: %+v, want an empty clean scan", res)
+	}
+}

@@ -23,6 +23,7 @@ package rlvm
 import (
 	"fmt"
 
+	"lvm/internal/compact"
 	"lvm/internal/core"
 	"lvm/internal/cycles"
 	"lvm/internal/ramdisk"
@@ -63,7 +64,8 @@ type Manager struct {
 	ckpt *core.Segment // committed state (deferred-copy source)
 	seg  *core.Segment // working recoverable segment (logged)
 	reg  *core.Region
-	ls   *core.Segment // LVM log segment
+	ls   *core.Segment    // LVM log segment
+	cm   *compact.Manager // owns the LVM log's prefix lifecycle
 	base core.Addr
 	size uint32
 
@@ -116,6 +118,10 @@ func New(sys *core.System, p *core.Process, size uint32, disk ramdisk.Device, op
 		return nil, err
 	}
 	m.base = base
+	m.cm, err = compact.New(sys, compact.Options{Log: m.ls})
+	if err != nil {
+		return nil, err
+	}
 	// Recovery: image + committed redo records go into the checkpoint;
 	// the working segment then reads through.
 	img := make([]byte, total)
@@ -149,6 +155,10 @@ func (m *Manager) Segment() *core.Segment { return m.seg }
 // LogSegment returns the LVM log segment backing the working region (the
 // fault injector arms its DMA perturbations against it).
 func (m *Manager) LogSegment() *core.Segment { return m.ls }
+
+// CompactManager exposes the log-prefix manager, so fault injection can
+// arm its FailHook against the WAL-reset-to-log-truncation window.
+func (m *Manager) CompactManager() *compact.Manager { return m.cm }
 
 // markerVA is the logged transaction-identifier word.
 func (m *Manager) markerVA() core.Addr { return m.base }
@@ -262,7 +272,11 @@ func (m *Manager) Abort() error {
 
 // Truncate applies committed updates to the durable image, resets the
 // write-ahead log, and truncates the LVM log segment. On a device error
-// the write-ahead log keeps its records, so nothing committed is lost.
+// before the reset the write-ahead log keeps its records, so nothing
+// committed is lost. A failure of the LVM-log truncation itself — after
+// the WAL is already reset — must surface too: this code used to test it
+// only for success, leaving commitOff pointing into a log the kernel
+// refused to truncate, and the caller none the wiser.
 func (m *Manager) Truncate() error {
 	start := m.p.Now()
 	// One scatter-gather device operation for the image update.
@@ -282,9 +296,10 @@ func (m *Manager) Truncate() error {
 	if err := m.wal.Reset(m.p.CPU); err != nil {
 		return err
 	}
-	if err := m.sys.K.TruncateLog(m.ls); err == nil {
-		m.commitOff = 0
+	if err := m.cm.TruncateAll(); err != nil {
+		return fmt.Errorf("rlvm: lvm log truncate after wal reset: %w", err)
 	}
+	m.commitOff = 0
 	m.Stats.TruncCycles += m.p.Now() - start
 	return nil
 }

@@ -1,6 +1,8 @@
 package rlvm
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -226,5 +228,52 @@ func TestPropertyCommittedStateMatchesShadow(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTruncateFailurePropagates pins the swallowed-error fix: a failure
+// of the LVM-log truncation — injected in the window after the WAL is
+// already reset — must surface to the caller instead of being tested
+// only for success, and the manager must stay consistent: the log keeps
+// its records, the next commit resumes from the same offset, and a
+// recovery sees exactly the committed state.
+func TestTruncateFailurePropagates(t *testing.T) {
+	sys, _, d, m := setup(t)
+	must(t, m.Begin())
+	must(t, m.RecoverableWrite32(m.Base()+16, 0xAA))
+	must(t, m.Commit())
+
+	boom := fmt.Errorf("injected truncation failure")
+	m.CompactManager().FailHook = func() error { return boom }
+	if err := m.Truncate(); !errors.Is(err, boom) {
+		t.Fatalf("Truncate error = %v, want wrapped injected failure", err)
+	}
+	if got := m.CompactManager().Stats.TruncateFailures; got != 1 {
+		t.Fatalf("truncate failures = %d, want 1", got)
+	}
+	if sys.K.LogAppendOffset(m.LogSegment()) == 0 {
+		t.Fatal("failed truncation emptied the log anyway")
+	}
+
+	// With the injection cleared the same call succeeds, and the manager
+	// keeps committing and recovering correctly.
+	m.CompactManager().FailHook = nil
+	must(t, m.Truncate())
+	if got := sys.K.LogAppendOffset(m.LogSegment()); got != 0 {
+		t.Fatalf("log append offset after truncate = %d, want 0", got)
+	}
+	must(t, m.Begin())
+	must(t, m.RecoverableWrite32(m.Base()+20, 0xBB))
+	must(t, m.Commit())
+	p2 := sys.NewProcess(0, sys.NewAddressSpace())
+	m2, err := New(sys, p2, 8*core.PageSize, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Load32(m2.Base() + 16); got != 0xAA {
+		t.Fatalf("recovered word 16 = %#x, want 0xAA", got)
+	}
+	if got := p2.Load32(m2.Base() + 20); got != 0xBB {
+		t.Fatalf("recovered word 20 = %#x, want 0xBB", got)
 	}
 }

@@ -1,6 +1,7 @@
 package timewarp
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -311,5 +312,37 @@ func TestLazyStaleSendsCancelledOnAnnihilation(t *testing.T) {
 		if sc.q.len() != 0 {
 			t.Fatalf("scheduler %d queue not drained", sc.id)
 		}
+	}
+}
+
+// TestQuiescenceTruncateFailureSurfaces pins the swallowed-error fix in
+// cult(): when the kernel refuses the quiescence-time log truncation,
+// the failure must be tallied and the checkpoint positions must keep
+// describing the (untruncated) log, so the next quiescence can retry —
+// not silently reset as if the cut had happened.
+func TestQuiescenceTruncateFailureSurfaces(t *testing.T) {
+	sim := buildSim(t, 1, SaverLVM, 80)
+	sc := sim.Scheduler(0)
+	sc.cm.FailHook = func() error { return errors.New("injected truncation failure") }
+	sim.Run(PolicyGlobalOrder)
+
+	if sc.Stats.TruncFailures == 0 {
+		t.Fatal("failed quiescence truncation left no trace")
+	}
+	if sc.ckptPos == 0 || sc.recordsIssued == 0 {
+		t.Fatal("checkpoint positions were reset despite the failed truncation")
+	}
+	if got := sim.sys.K.LogAppendOffset(sc.logSeg); got != sc.ckptPos {
+		t.Fatalf("log append offset %d, ckptPos %d: positions no longer describe the log", got, sc.ckptPos)
+	}
+
+	// With the injection cleared the next quiescence pass truncates.
+	sc.cm.FailHook = nil
+	sc.cult(^VT(0))
+	if sc.ckptPos != 0 || sc.recordsIssued != 0 {
+		t.Fatalf("retry did not reset positions: ckptPos %d recordsIssued %d", sc.ckptPos, sc.recordsIssued)
+	}
+	if got := sim.sys.K.LogAppendOffset(sc.logSeg); got != 0 {
+		t.Fatalf("retry left %d bytes in the log", got)
 	}
 }

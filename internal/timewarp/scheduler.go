@@ -3,6 +3,7 @@ package timewarp
 import (
 	"fmt"
 
+	"lvm/internal/compact"
 	"lvm/internal/core"
 	"lvm/internal/cycles"
 	"lvm/internal/logrec"
@@ -59,6 +60,9 @@ type SchedStats struct {
 	Annihilated uint64
 	Replayed    uint64
 	CULTRecords uint64
+	// TruncFailures counts quiescence-time log truncations the kernel
+	// refused; the checkpoint positions stay valid for the kept log.
+	TruncFailures uint64
 	// LazyKept counts sends that lazy cancellation preserved because
 	// re-execution reproduced them identically.
 	LazyKept uint64
@@ -82,8 +86,9 @@ type Scheduler struct {
 	saver SaverKind
 
 	working *core.Segment
-	ckpt    *core.Segment // LVM only
-	logSeg  *core.Segment // LVM only
+	ckpt    *core.Segment    // LVM only
+	logSeg  *core.Segment    // LVM only
+	cm      *compact.Manager // LVM only: owns logSeg's prefix lifecycle
 	reg     *core.Region
 	base    core.Addr
 
@@ -127,6 +132,11 @@ func newScheduler(sim *Sim, id int) (*Scheduler, error) {
 		}
 		s.logSeg = sys.K.NewLogSegment(name+"-log", cfg.LogPages)
 		if err := s.reg.Log(s.logSeg); err != nil {
+			return nil, err
+		}
+		var err error
+		s.cm, err = compact.New(sys, compact.Options{Log: s.logSeg})
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -457,8 +467,15 @@ func (s *Scheduler) cult(gvt VT) {
 		s.processed = append(s.processed[:0:0], s.processed[idx:]...)
 	}
 	// Truncate when everything is consumed and nothing is outstanding.
+	// A refused truncation is not silent — it used to be tested only for
+	// success, which left ckptPos/recordsIssued pointing into a log that
+	// was never cut with no trace. The positions stay valid for the
+	// untruncated log (the next quiescence retries), and the failure is
+	// tallied where tests and metrics can see it.
 	if len(s.processed) == 0 && s.q.len() == 0 && s.ckptPos == s.recordsIssued*logrec.Size && s.ckptPos > 0 {
-		if err := s.sim.sys.K.TruncateLog(s.logSeg); err == nil {
+		if err := s.cm.TruncateAll(); err != nil {
+			s.Stats.TruncFailures++
+		} else {
 			s.ckptPos = 0
 			s.recordsIssued = 0
 		}
