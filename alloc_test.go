@@ -25,4 +25,7 @@ func TestLoggedStoreZeroAlloc(t *testing.T) {
 	if avg := testing.AllocsPerRun(20000, sl.Step); avg != 0 {
 		t.Fatalf("logged store allocates: %v allocs/op (want 0)", avg)
 	}
+	if err := sl.Err(); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -303,6 +303,10 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sl.Step()
 	}
+	b.StopTimer()
+	if err := sl.Err(); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkExtensionOODB measures the object-database speedup at short

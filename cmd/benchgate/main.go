@@ -25,10 +25,32 @@ import (
 // gateInput is the subset of the BENCH_lvm.json schema the gate needs.
 // Extra fields in either file are ignored; missing ones are errors.
 type gateInput struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
 	Throughput struct {
 		NsPerStore     *float64 `json:"ns_per_store"`
 		AllocsPerStore *int64   `json:"allocs_per_store"`
 	} `json:"logged_store_throughput"`
+	// Fig7 is optional (older baselines predate the gate): when the
+	// candidate recorded the sweep AND ran on enough cores with enough
+	// workers, the parallel sweep must actually be parallel — a 0.99x
+	// "speedup" on a 4-core runner means the worker pool is broken, and
+	// silently accepting it hid exactly that for several revisions.
+	Fig7 *struct {
+		Workers   int      `json:"parallel_workers"`
+		Speedup   *float64 `json:"speedup"`
+		Identical *bool    `json:"output_identical"`
+	} `json:"fig7_sweep_wallclock"`
+	// Recovery is optional for the same schema-evolution reason: when
+	// present, the parallel replay must recover the byte-identical image
+	// on any host, and must hit its speedup floor at 4 workers on hosts
+	// with at least minParallelCores cores.
+	Recovery *struct {
+		Workers []struct {
+			Workers int     `json:"workers"`
+			Speedup float64 `json:"speedup"`
+		} `json:"workers"`
+		Identical *bool `json:"output_identical"`
+	} `json:"recovery"`
 	// Compaction is optional (older baselines predate it): when the
 	// candidate carries the section, its tail_growth — replayed records
 	// at a 10x workload over 1x, compaction on — must stay bounded, or
@@ -44,6 +66,18 @@ type gateInput struct {
 // landing mid-interval in one run and near-empty in the other without
 // ever admitting an O(log) regression (which reports ~10x).
 const maxTailGrowth = 3.0
+
+// Parallel wall-clock floors, enforced only when the candidate's recorded
+// gomaxprocs (and, for fig7, its worker count) reaches minParallelCores —
+// a 1-core container cannot speed anything up, and the recorded values,
+// not the gate host's, decide, so the gate never lies about where the
+// numbers came from.
+const (
+	minParallelCores    = 4
+	minFig7Speedup      = 1.5
+	minRecoverySpeedup  = 2.0
+	recoveryGateWorkers = 4
+)
 
 // errNoBaseline distinguishes "nothing to gate against" (file absent or
 // empty) from a malformed file. A fresh clone without a committed
@@ -95,6 +129,52 @@ func gate(base, cand *gateInput, tolerance float64) (lines []string, ok bool) {
 		ok = false
 	}
 	lines = append(lines, fmt.Sprintf("allocs/store: candidate %d %s", allocs, verdict))
+
+	switch {
+	case cand.Fig7 == nil || cand.Fig7.Speedup == nil:
+		lines = append(lines, "fig7: candidate has no sweep section (skipped)")
+	case cand.Fig7.Identical != nil && !*cand.Fig7.Identical:
+		lines = append(lines, "fig7 output: parallel sweep diverges from sequential FAIL")
+		ok = false
+	case cand.GOMAXPROCS < minParallelCores || cand.Fig7.Workers < minParallelCores:
+		lines = append(lines, fmt.Sprintf("fig7 speedup: %.2fx at %d workers on %d cores (informational, < %d cores)",
+			*cand.Fig7.Speedup, cand.Fig7.Workers, cand.GOMAXPROCS, minParallelCores))
+	case *cand.Fig7.Speedup < minFig7Speedup:
+		lines = append(lines, fmt.Sprintf("fig7 speedup: %.2fx at %d workers on %d cores FAIL (< %.1fx: worker pool not parallel)",
+			*cand.Fig7.Speedup, cand.Fig7.Workers, cand.GOMAXPROCS, minFig7Speedup))
+		ok = false
+	default:
+		lines = append(lines, fmt.Sprintf("fig7 speedup: %.2fx at %d workers ok", *cand.Fig7.Speedup, cand.Fig7.Workers))
+	}
+
+	switch {
+	case cand.Recovery == nil:
+		lines = append(lines, "recovery: candidate has no recovery section (skipped)")
+	case cand.Recovery.Identical == nil || !*cand.Recovery.Identical:
+		lines = append(lines, "recovery output: parallel replay diverges from sequential FAIL")
+		ok = false
+	default:
+		speedup, found := 0.0, false
+		for _, w := range cand.Recovery.Workers {
+			if w.Workers == recoveryGateWorkers {
+				speedup, found = w.Speedup, true
+			}
+		}
+		switch {
+		case !found:
+			lines = append(lines, fmt.Sprintf("recovery: no %d-worker point FAIL", recoveryGateWorkers))
+			ok = false
+		case cand.GOMAXPROCS < minParallelCores:
+			lines = append(lines, fmt.Sprintf("recovery speedup: %.2fx at %d workers on %d cores (informational, < %d cores)",
+				speedup, recoveryGateWorkers, cand.GOMAXPROCS, minParallelCores))
+		case speedup < minRecoverySpeedup:
+			lines = append(lines, fmt.Sprintf("recovery speedup: %.2fx at %d workers on %d cores FAIL (< %.1fx)",
+				speedup, recoveryGateWorkers, cand.GOMAXPROCS, minRecoverySpeedup))
+			ok = false
+		default:
+			lines = append(lines, fmt.Sprintf("recovery speedup: %.2fx at %d workers ok", speedup, recoveryGateWorkers))
+		}
+	}
 
 	switch {
 	case cand.Compaction == nil || cand.Compaction.TailGrowth == nil:

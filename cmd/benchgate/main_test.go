@@ -91,6 +91,95 @@ func TestGateTailGrowth(t *testing.T) {
 	}
 }
 
+// TestGateFig7Speedup pins the parallel-sweep gate: on a recorded ≥4-core
+// host with ≥4 workers a sub-1.5x speedup fails (this silently passed as
+// 0.99x before the gate existed), a 1-core recording is informational,
+// divergent output always fails, and a section-less candidate skips.
+func TestGateFig7Speedup(t *testing.T) {
+	base := report(t, 47.0, 0, "")
+	counters := `, "counters": {"hwlogger.snoops": 12}`
+
+	slow4core := report(t, 47.0, 0, counters+
+		`, "gomaxprocs": 8, "fig7_sweep_wallclock": {"parallel_workers": 8, "speedup": 0.99, "output_identical": true}`)
+	lines, ok := gate(base, slow4core, 0.10)
+	if ok {
+		t.Fatalf("0.99x fig7 speedup on 8 cores passed the gate: %v", lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "fig7 speedup") {
+		t.Fatalf("no fig7 verdict in %v", lines)
+	}
+
+	oneCore := report(t, 47.0, 0, counters+
+		`, "gomaxprocs": 1, "fig7_sweep_wallclock": {"parallel_workers": 1, "speedup": 0.99, "output_identical": true}`)
+	if lines, ok := gate(base, oneCore, 0.10); !ok {
+		t.Fatalf("1-core fig7 recording failed the gate: %v", lines)
+	}
+
+	diverged := report(t, 47.0, 0, counters+
+		`, "gomaxprocs": 1, "fig7_sweep_wallclock": {"parallel_workers": 1, "speedup": 1.0, "output_identical": false}`)
+	if lines, ok := gate(base, diverged, 0.10); ok {
+		t.Fatalf("divergent fig7 output passed the gate: %v", lines)
+	}
+
+	fast := report(t, 47.0, 0, counters+
+		`, "gomaxprocs": 8, "fig7_sweep_wallclock": {"parallel_workers": 8, "speedup": 3.1, "output_identical": true}`)
+	if lines, ok := gate(base, fast, 0.10); !ok {
+		t.Fatalf("healthy fig7 sweep failed the gate: %v", lines)
+	}
+
+	absent := report(t, 47.0, 0, counters)
+	if lines, ok := gate(base, absent, 0.10); !ok {
+		t.Fatalf("fig7-less candidate failed the gate: %v", lines)
+	}
+}
+
+// TestGateRecovery pins the parallel-recovery gate: divergent output
+// fails on any host, a sub-2x 4-worker speedup fails only when the
+// recording host had ≥4 cores, and a missing 4-worker point fails.
+func TestGateRecovery(t *testing.T) {
+	base := report(t, 47.0, 0, "")
+	counters := `, "counters": {"hwlogger.snoops": 12}`
+
+	healthy := report(t, 47.0, 0, counters+
+		`, "gomaxprocs": 8, "recovery": {"workers": [{"workers": 4, "speedup": 2.6}], "output_identical": true}`)
+	if lines, ok := gate(base, healthy, 0.10); !ok {
+		t.Fatalf("healthy recovery failed the gate: %v", lines)
+	}
+
+	slow := report(t, 47.0, 0, counters+
+		`, "gomaxprocs": 8, "recovery": {"workers": [{"workers": 4, "speedup": 1.2}], "output_identical": true}`)
+	lines, ok := gate(base, slow, 0.10)
+	if ok {
+		t.Fatalf("1.2x recovery speedup on 8 cores passed the gate: %v", lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "recovery speedup") {
+		t.Fatalf("no recovery verdict in %v", lines)
+	}
+
+	oneCore := report(t, 47.0, 0, counters+
+		`, "gomaxprocs": 1, "recovery": {"workers": [{"workers": 4, "speedup": 1.0}], "output_identical": true}`)
+	if lines, ok := gate(base, oneCore, 0.10); !ok {
+		t.Fatalf("1-core recovery recording failed the gate: %v", lines)
+	}
+
+	diverged := report(t, 47.0, 0, counters+
+		`, "gomaxprocs": 1, "recovery": {"workers": [{"workers": 4, "speedup": 1.0}], "output_identical": false}`)
+	if lines, ok := gate(base, diverged, 0.10); ok {
+		t.Fatalf("divergent recovery output passed the gate: %v", lines)
+	}
+
+	noPoint := report(t, 47.0, 0, counters+
+		`, "gomaxprocs": 8, "recovery": {"workers": [{"workers": 2, "speedup": 1.9}], "output_identical": true}`)
+	if lines, ok := gate(base, noPoint, 0.10); ok {
+		t.Fatalf("recovery section without a 4-worker point passed the gate: %v", lines)
+	}
+
+	absent := report(t, 47.0, 0, counters)
+	if lines, ok := gate(base, absent, 0.10); !ok {
+		t.Fatalf("recovery-less candidate failed the gate: %v", lines)
+	}
+}
+
 func TestGateFailsOnEmptyCounters(t *testing.T) {
 	base := report(t, 47.0, 0, "")
 	cand := report(t, 47.0, 0, "")

@@ -16,13 +16,28 @@
 // errors in both the RLVM manager and the timewarp scheduler, leaving
 // their cursors describing a log that was never cut.
 //
+// Two more shapes, added with the group-commit batching work:
+//
+//	_ = x.Flush()                        // blank-discarded watched call
+//	select { case ch <- v: default: }    // non-blocking send, empty default
+//
+// Blank assignment is just the bare-call drop with a fig leaf. The
+// empty-default send is the channel-level analogue: batching paths push
+// records through channels, and a full channel with an empty default
+// silently drops the value — the software version of a FIFO overrun,
+// except nothing even increments a loss counter.
+//
+// Generated files (the standard "// Code generated ... DO NOT EDIT."
+// header before the package clause) are exempt: merge tables and other
+// emitted code answer to their generator, not to this gate.
+//
 // Usage:
 //
 //	errgate [dir]
 //
 // A finding can be suppressed with a trailing "//errgate:ok" comment on
-// the same line, for the rare call sites where discarding the error is
-// the intent (document why next to it).
+// the same line, for the rare call sites where discarding the error (or
+// the send) is the intent (document why next to it).
 package main
 
 import (
@@ -33,6 +48,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 )
 
@@ -78,7 +94,10 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bad += check(fset, f)
+		for _, fd := range check(fset, f) {
+			fmt.Printf("%s:%d: %s\n", fd.pos.Filename, fd.pos.Line, fd.msg)
+			bad++
+		}
 		return nil
 	})
 	if err != nil {
@@ -91,7 +110,35 @@ func main() {
 	}
 }
 
-func check(fset *token.FileSet, f *ast.File) int {
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+// generatedRe is the standard convention for machine-emitted Go files
+// (golang.org/s/generatedcode): the line must match exactly and appear
+// before the package clause.
+var generatedRe = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGenerated reports whether f carries the generated-code header.
+func isGenerated(fset *token.FileSet, f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if generatedRe.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func check(fset *token.FileSet, f *ast.File) []finding {
+	if isGenerated(fset, f) {
+		return nil
+	}
 	// Lines carrying an errgate:ok suppression comment.
 	ok := map[int]bool{}
 	for _, cg := range f.Comments {
@@ -101,7 +148,14 @@ func check(fset *token.FileSet, f *ast.File) int {
 			}
 		}
 	}
-	bad := 0
+	var bad []finding
+	flag := func(p token.Pos, format string, a ...any) {
+		pos := fset.Position(p)
+		if ok[pos.Line] {
+			return
+		}
+		bad = append(bad, finding{pos: pos, msg: fmt.Sprintf(format, a...)})
+	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch stmt := n.(type) {
 		case *ast.ExprStmt:
@@ -109,32 +163,70 @@ func check(fset *token.FileSet, f *ast.File) int {
 			if !isCall {
 				return true
 			}
-			name, isWatched := watchedCall(call)
-			if !isWatched {
-				return true
+			if name, isWatched := watchedCall(call); isWatched {
+				flag(call.Pos(), "result of %s ignored", name)
 			}
-			pos := fset.Position(call.Pos())
-			if ok[pos.Line] {
-				return true
+		case *ast.AssignStmt:
+			name, isDiscard := blankDiscard(stmt)
+			if isDiscard {
+				flag(stmt.Pos(), "result of %s discarded via blank identifier", name)
 			}
-			fmt.Printf("%s:%d: result of %s ignored\n", pos.Filename, pos.Line, name)
-			bad++
 		case *ast.IfStmt:
 			name, isSwallow := successOnlyTest(stmt)
-			if !isSwallow {
-				return true
+			if isSwallow {
+				flag(stmt.Pos(), "%s tested only for success; failure path silently dropped", name)
 			}
-			pos := fset.Position(stmt.Pos())
-			if ok[pos.Line] {
-				return true
+		case *ast.SelectStmt:
+			send, isDrop := droppedSend(stmt)
+			if isDrop {
+				flag(send.Pos(), "non-blocking send with empty default: value silently dropped when channel is full")
 			}
-			fmt.Printf("%s:%d: %s tested only for success; failure path silently dropped\n",
-				pos.Filename, pos.Line, name)
-			bad++
 		}
 		return true
 	})
 	return bad
+}
+
+// blankDiscard matches `_ = f()` for watched f: the same dropped error
+// as a bare expression statement, dressed up as deliberate.
+func blankDiscard(stmt *ast.AssignStmt) (string, bool) {
+	if stmt.Tok != token.ASSIGN || len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+		return "", false
+	}
+	if !isIdentNamed(stmt.Lhs[0], "_") {
+		return "", false
+	}
+	call, isCall := stmt.Rhs[0].(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	return watchedCall(call)
+}
+
+// droppedSend matches a select containing a channel send alongside an
+// empty default clause: when the channel is full the default fires and
+// the value vanishes. Sites where that is the intent (ack coalescing, a
+// drop policy handled after the select) carry an errgate:ok comment on
+// the send's line.
+func droppedSend(stmt *ast.SelectStmt) (*ast.SendStmt, bool) {
+	var send *ast.SendStmt
+	emptyDefault := false
+	for _, s := range stmt.Body.List {
+		clause, isComm := s.(*ast.CommClause)
+		if !isComm {
+			continue
+		}
+		if clause.Comm == nil {
+			if len(clause.Body) == 0 {
+				emptyDefault = true
+			}
+			continue
+		}
+		if sd, isSend := clause.Comm.(*ast.SendStmt); isSend && send == nil {
+			send = sd
+		}
+	}
+	return send, send != nil && emptyDefault
 }
 
 // watchedCall reports whether call targets a watched name.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,7 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"lvm/internal/core"
 	"lvm/internal/experiments"
+	"lvm/internal/fault"
+	"lvm/internal/recovery"
 	"lvm/internal/sim"
 )
 
@@ -52,10 +56,31 @@ type benchReport struct {
 		RecoverCompactSec float64 `json:"recover_compact_10x_sec"`
 	} `json:"compaction"`
 
+	// Recovery times partitioned parallel log replay against the
+	// sequential scan on a 10x-scale log. The wall-clock seconds are
+	// host-side and informational; output_identical is the hard
+	// property — every worker count must recover the byte-identical
+	// image the sequential replay produces — and the 4-worker speedup
+	// is gated by benchgate on hosts with enough cores.
+	Recovery struct {
+		Txns          int            `json:"txns"`
+		LogRecords    int            `json:"log_records"`
+		SequentialSec float64        `json:"sequential_sec"`
+		Workers       []recoveryInfo `json:"workers"`
+		Identical     bool           `json:"output_identical"`
+	} `json:"recovery"`
+
 	// Counters is the non-zero metrics snapshot of the benchmarked
 	// system after the final run — proof the instrumented hot path was
 	// actually counting while hitting the ns/store number above.
 	Counters map[string]uint64 `json:"counters"`
+}
+
+// recoveryInfo is one parallel-replay timing point.
+type recoveryInfo struct {
+	Workers int     `json:"workers"`
+	Sec     float64 `json:"sec"`
+	Speedup float64 `json:"speedup"`
 }
 
 // benchJSON measures the logged-store hot path with the standard Go
@@ -81,6 +106,10 @@ func benchJSON() error {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			sl.Step()
+		}
+		b.StopTimer()
+		if err := sl.Err(); err != nil {
+			b.Fatal(err)
 		}
 	})
 	if lastLoop != nil {
@@ -148,6 +177,10 @@ func benchJSON() error {
 	r.Compaction.TailGrowth = growth(comp10.Scanned, comp1.Scanned, benchTailBound)
 	r.Compaction.RecoverCompactSec = comp10.RecoverSec
 
+	if err := recoveryBench(&r); err != nil {
+		return err
+	}
+
 	buf, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {
 		return err
@@ -161,5 +194,90 @@ func benchJSON() error {
 		workers, r.Fig7.Speedup, r.Fig7.Identical)
 	fmt.Printf("compaction: replay growth at 10x workload %.2fx full vs %.2fx compacted\n",
 		r.Compaction.FullGrowth, r.Compaction.TailGrowth)
+	for _, w := range r.Recovery.Workers {
+		fmt.Printf("recovery %dw: %.2fx vs sequential\n", w.Workers, w.Speedup)
+	}
+	fmt.Printf("recovery output identical: %v\n", r.Recovery.Identical)
+	return nil
+}
+
+// recoveryBench builds one marker-transaction workload on a 10x-scale log
+// (ten times the compaction bench's 1x store count) and replays it
+// sequentially and at 1/2/4/8 workers, each into a fresh destination.
+// Every image must match the sequential one byte for byte; each point is
+// the best of three runs to shave scheduler noise off the wall clock.
+func recoveryBench(r *benchReport) error {
+	const segSize = 256 * 1024
+	const markerLimit = 16
+	const stores = 10 * 1024 // 10x the compaction bench's 1x workload
+
+	logPages := uint32(3*stores*16/int(core.PageSize)) + 8
+	sys := core.NewSystem(core.Config{
+		NumCPUs:   1,
+		MemFrames: int(segSize/core.PageSize) + int(logPages) + 4096,
+	})
+	seg := core.NewNamedSegment(sys, "rec-data", segSize, nil)
+	reg := core.NewStdRegion(sys, seg)
+	ls := core.NewLogSegment(sys, logPages)
+	if err := reg.Log(ls); err != nil {
+		return err
+	}
+	as := sys.NewAddressSpace()
+	base, err := reg.Bind(as, 0)
+	if err != nil {
+		return err
+	}
+	p := sys.NewProcess(0, as)
+
+	wr := fault.NewRNG(0xD15C0)
+	seq := uint32(0)
+	for s := 0; s < stores; {
+		seq++
+		p.Store32(base, seq)
+		n := 1 + wr.Intn(benchMaxBatch)
+		for j := 0; j < n; j++ {
+			off := uint32(markerLimit) + uint32(wr.Intn((segSize-markerLimit)/4))*4
+			p.Store32(base+off, uint32(wr.Next()))
+			s++
+		}
+		p.Store32(base, seq|recovery.MarkerCommit)
+	}
+	sys.Sync()
+	r.Recovery.Txns = int(seq)
+	r.Recovery.LogRecords = int(sys.K.LogAppendOffset(ls)) / 16
+
+	replay := func(workers int) (recovery.Result, []byte, float64) {
+		best := 0.0
+		var res recovery.Result
+		var img []byte
+		for try := 0; try < 3; try++ {
+			dst := core.NewNamedSegment(sys, "rec-dst", segSize, nil)
+			start := time.Now()
+			res = recovery.Replay(sys, recovery.ReplayOptions{
+				Log: ls, Data: seg, Dst: dst,
+				MarkerLimit: markerLimit, Workers: workers,
+			})
+			sec := time.Since(start).Seconds()
+			if try == 0 || sec < best {
+				best = sec
+			}
+			img = make([]byte, segSize)
+			dst.ReadInto(0, img)
+		}
+		return res, img, best
+	}
+
+	seqRes, seqImg, seqSec := replay(0)
+	r.Recovery.SequentialSec = seqSec
+	r.Recovery.Identical = true
+	for _, w := range []int{1, 2, 4, 8} {
+		res, img, sec := replay(w)
+		if res != seqRes || !bytes.Equal(img, seqImg) {
+			r.Recovery.Identical = false
+		}
+		r.Recovery.Workers = append(r.Recovery.Workers, recoveryInfo{
+			Workers: w, Sec: sec, Speedup: seqSec / sec,
+		})
+	}
 	return nil
 }

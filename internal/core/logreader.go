@@ -52,6 +52,18 @@ func NewLogReader(sys *System, ls *Segment) *LogReader {
 	return r
 }
 
+// NewLogReaderAt creates a reader over [start, end) of the log WITHOUT
+// synchronizing with the logger or consulting the hardware append state.
+// Callers must have established the bounds beforehand (typically from a
+// synced NewLogReader); because it touches no kernel or device state, any
+// number of such readers may run concurrently over a quiescent machine —
+// the partitioned parallel recovery path depends on exactly that.
+func NewLogReaderAt(sys *System, ls *Segment, start, end uint32) *LogReader {
+	r := &LogReader{sys: sys, ls: ls, off: start}
+	r.SetEnd(end)
+	return r
+}
+
 // Sync drains the logger and refreshes the reader's view of the log end.
 func (r *LogReader) Sync() {
 	r.sys.K.Sync()

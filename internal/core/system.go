@@ -121,6 +121,26 @@ func (s *System) NewProcess(cpuID int, as *AddressSpace) *Process {
 // Sync drains all in-flight logging work and returns the idle cycle.
 func (s *System) Sync() uint64 { return s.K.Sync() }
 
+// EnableWriteAbsorption turns on the bus logger's FIFO write-absorption
+// stage with the given window (repeated stores to the same word within the
+// window coalesce into one pending record). No-op for on-chip systems;
+// window <= 0 disables. Pages carrying transaction markers should be
+// excluded with Segment.SetNoAbsorbLimit before enabling.
+func (s *System) EnableWriteAbsorption(window int) {
+	if s.K.Log != nil {
+		s.K.Log.SetAbsorbWindow(window)
+	}
+}
+
+// EnableGroupCommit turns on batched DMA drains in the bus logger: records
+// DMA in groups of up to batch, or when the oldest queued record has aged
+// deadline cycles. No-op for on-chip systems; batch <= 1 disables.
+func (s *System) EnableGroupCommit(batch int, deadline uint64) {
+	if s.K.Log != nil {
+		s.K.Log.SetGroupCommit(batch, deadline)
+	}
+}
+
 // Elapsed returns the machine's elapsed time in cycles (the latest CPU
 // clock).
 func (s *System) Elapsed() uint64 { return s.K.M.MaxNow() }

@@ -31,6 +31,7 @@ func runCompact(t template, plan fault.Plan, short bool) (outcome, uint64) {
 		MemFrames: int(segSize/core.PageSize) + int(logPages) + 4096,
 	})
 	seg := core.NewNamedSegment(sys, "ct-data", segSize, nil)
+	seg.SetNoAbsorbLimit(markerLimit) // marker words are barriers, never coalesced
 	reg := core.NewStdRegion(sys, seg)
 	ls := core.NewLogSegment(sys, logPages)
 	if err := reg.Log(ls); err != nil {
@@ -42,6 +43,8 @@ func runCompact(t template, plan fault.Plan, short bool) (outcome, uint64) {
 		return failf(plan, "setup err=%v", err), 0
 	}
 	p := sys.NewProcess(0, as)
+	sys.EnableWriteAbsorption(ctAbsorbWindow)
+	sys.EnableGroupCommit(ctGroupSize, ctGroupDeadline)
 	disk := ramdisk.New()
 	mgr, err := compact.New(sys, compact.Options{Data: seg, Log: ls, Disk: disk})
 	if err != nil {

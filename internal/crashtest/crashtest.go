@@ -33,12 +33,27 @@ type Options struct {
 	Short bool
 }
 
+// Every log and compact scenario runs with the FIFO write-absorption
+// stage and group commit enabled: the whole matrix continuously proves
+// that coalescing repeated stores and batching DMA drains can never
+// change a recovery verdict. Same configuration as the throughput
+// workload (internal/experiments).
+const (
+	ctAbsorbWindow  = 8
+	ctGroupSize     = 8
+	ctGroupDeadline = 1024
+)
+
 // template is one row of the fault matrix.
 type template struct {
 	name     string
 	scenario string // "log", "compact", "rvm" or "rlvm"
 	// maxBatch bounds the stores per transaction of the log workload.
 	maxBatch int
+	// hotset > 0 draws store offsets from a seeded pool of that many hot
+	// addresses instead of the whole segment, so repeated stores land in
+	// the absorption window and actually coalesce.
+	hotset int
 	// needsDry: the plan derives its crash cycle from a fault-free dry
 	// run of the same seeded workload.
 	needsDry bool
@@ -84,6 +99,21 @@ func templates() []template {
 		{name: "log/storm", scenario: "log", maxBatch: 256,
 			plan: func(seed, dry uint64) fault.Plan {
 				return fault.Plan{OverloadThreshold: 8}
+			}},
+		// Crash inside the absorption window: a hot-address workload makes
+		// repeated stores coalesce in the FIFO, and the cycle trigger dies
+		// while dirty coalesced records are still waiting out the group
+		// deadline. The injector's in-flight ledger captures the coalesced
+		// FIFO entries at the moment of death, so it must explain exactly
+		// the absorbed-but-unpersisted stores — and nothing else. The
+		// fraction range starts at 58%: the first transaction's page-fault
+		// storm (hot pages, marker page, first log page) eats the low half
+		// of the short workload's cycle budget, and a crash in there lands
+		// before the first commit — a degenerate empty-expectation pass
+		// instead of a crash with coalesced records pending.
+		{name: "log/absorb-window", scenario: "log", maxBatch: 24, hotset: 6, needsDry: true,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{CrashAtCycle: dry * (58 + seed*17%38) / 100}
 			}},
 		{name: "rvm/crash-diskop", scenario: "rvm",
 			plan: func(seed, dry uint64) fault.Plan {
@@ -240,6 +270,7 @@ func runLog(t template, plan fault.Plan, short bool) (outcome, uint64) {
 		MemFrames: int(segSize/core.PageSize) + int(logPages) + 4096,
 	})
 	seg := core.NewNamedSegment(sys, "ct-data", segSize, nil)
+	seg.SetNoAbsorbLimit(markerLimit) // marker words are barriers, never coalesced
 	reg := core.NewStdRegion(sys, seg)
 	ls := core.NewLogSegment(sys, logPages)
 	if err := reg.Log(ls); err != nil {
@@ -251,6 +282,8 @@ func runLog(t template, plan fault.Plan, short bool) (outcome, uint64) {
 		return failf(plan, "setup err=%v", err), 0
 	}
 	p := sys.NewProcess(0, as)
+	sys.EnableWriteAbsorption(ctAbsorbWindow)
+	sys.EnableGroupCommit(ctGroupSize, ctGroupDeadline)
 
 	in := fault.New(plan)
 	in.Arm(sys, nil, ls, seg, markerLimit)
@@ -274,6 +307,13 @@ func runLog(t template, plan fault.Plan, short bool) (outcome, uint64) {
 			}
 		}()
 		wr := fault.NewRNG(plan.Seed + 1)
+		var hot []uint32
+		if t.hotset > 0 {
+			hot = make([]uint32, t.hotset)
+			for i := range hot {
+				hot[i] = uint32(markerLimit) + uint32(wr.Intn((segSize-markerLimit)/4))*4
+			}
+		}
 		seq := uint32(0)
 		for s := 0; s < stores; {
 			seq++
@@ -282,6 +322,9 @@ func runLog(t template, plan fault.Plan, short bool) (outcome, uint64) {
 			n := 1 + wr.Intn(t.maxBatch)
 			for j := 0; j < n; j++ {
 				off := uint32(markerLimit) + uint32(wr.Intn((segSize-markerLimit)/4))*4
+				if hot != nil {
+					off = hot[wr.Intn(len(hot))]
+				}
 				val := uint32(wr.Next())
 				p.Store32(base+off, val)
 				pending = append(pending, write{off, val})

@@ -33,6 +33,9 @@ func Stats(iters int) (*StatsReport, error) {
 	for i := 0; i < iters; i++ {
 		sl.Step()
 	}
+	if err := sl.Err(); err != nil {
+		return nil, err
+	}
 	return &StatsReport{
 		Iters:  iters,
 		Snap:   sl.Sys.MetricsSnapshot(),

@@ -1,0 +1,290 @@
+package hwlogger
+
+import (
+	"testing"
+
+	"lvm/internal/cycles"
+	"lvm/internal/logrec"
+	"lvm/internal/machine"
+)
+
+func snoopW(l *Logger, addr, value uint32, tm uint64) {
+	l.Snoop(machine.LoggedWrite{Addr: addr, Value: value, Size: 4, Time: tm})
+}
+
+// TestAbsorbCoalescesRepeatedStores: within the window, a repeated store
+// to the same word rewrites the pending FIFO cell — one record, final
+// value, the ORIGINAL timestamp — instead of enqueueing a second record.
+func TestAbsorbCoalescesRepeatedStores(t *testing.T) {
+	l, mem, _ := newRig(t, 8)
+	l.LoadPMT(1, 0)
+	l.SetLogHead(0, 0x2000, ModeRecord)
+	l.SetAbsorbWindow(8)
+
+	snoopW(l, 0x1100, 1, 10)
+	snoopW(l, 0x1104, 2, 20)
+	snoopW(l, 0x1100, 3, 30) // absorbs into the first entry
+	if l.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2 after absorption", l.Pending())
+	}
+	if l.RecordsAbsorbed != 1 {
+		t.Fatalf("RecordsAbsorbed = %d, want 1", l.RecordsAbsorbed)
+	}
+	l.DrainAll()
+
+	r0 := logrec.Decode(mem.Frame(2)[0:])
+	r1 := logrec.Decode(mem.Frame(2)[16:])
+	if r0.Addr != 0x1100 || r0.Value != 3 {
+		t.Fatalf("record 0 = %+v, want coalesced value 3", r0)
+	}
+	if r0.Timestamp != cycles.ToTimestamp(10) {
+		t.Fatalf("coalesced timestamp = %d, want the original store's (%d)",
+			r0.Timestamp, cycles.ToTimestamp(10))
+	}
+	if r1.Addr != 0x1104 || r1.Value != 2 {
+		t.Fatalf("record 1 = %+v", r1)
+	}
+	if l.RecordsWritten != 2 {
+		t.Fatalf("RecordsWritten = %d, want 2", l.RecordsWritten)
+	}
+}
+
+// TestAbsorbWindowBound: an entry older than the window is not a
+// coalescing target.
+func TestAbsorbWindowBound(t *testing.T) {
+	l, _, _ := newRig(t, 8)
+	l.LoadPMT(1, 0)
+	l.SetLogHead(0, 0x2000, ModeRecord)
+	l.SetAbsorbWindow(2)
+
+	snoopW(l, 0x1100, 1, 10)
+	snoopW(l, 0x1104, 2, 20)
+	snoopW(l, 0x1108, 3, 30)
+	snoopW(l, 0x1100, 4, 40) // 0x1100 now outside the 2-entry window
+	if l.Pending() != 4 || l.RecordsAbsorbed != 0 {
+		t.Fatalf("Pending=%d absorbed=%d, want 4/0", l.Pending(), l.RecordsAbsorbed)
+	}
+	snoopW(l, 0x1108, 5, 50) // 0x1108 is within the window
+	if l.Pending() != 4 || l.RecordsAbsorbed != 1 {
+		t.Fatalf("Pending=%d absorbed=%d, want 4/1", l.Pending(), l.RecordsAbsorbed)
+	}
+}
+
+// TestNoAbsorbPageIsBarrier: writes to a page with the absorb-enable bit
+// clear (marker pages) are never coalesced, and they also fence earlier
+// entries — a later store cannot absorb into an entry queued before the
+// barrier, which is what keeps stores from moving across transaction
+// markers.
+func TestNoAbsorbPageIsBarrier(t *testing.T) {
+	l, _, _ := newRig(t, 8)
+	l.LoadPMT(1, 0) // data page
+	l.LoadPMT(2, 0) // marker page
+	l.SetPMTAbsorb(2, false)
+	l.SetLogHead(0, 0x3000, ModeRecord)
+	l.SetAbsorbWindow(8)
+
+	snoopW(l, 0x1100, 1, 10) // data
+	snoopW(l, 0x2000, 7, 20) // marker write: barrier, always enqueued
+	snoopW(l, 0x2000, 8, 30) // marker again: still not coalesced
+	snoopW(l, 0x1100, 2, 40) // must NOT absorb across the barrier
+	if l.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4 (no coalescing across barrier)", l.Pending())
+	}
+	snoopW(l, 0x1100, 3, 50) // absorbs into the post-barrier 0x1100 entry
+	if l.Pending() != 4 || l.RecordsAbsorbed != 1 {
+		t.Fatalf("Pending=%d absorbed=%d, want 4/1", l.Pending(), l.RecordsAbsorbed)
+	}
+}
+
+// TestAbsorbUnmappedPageIsBarrier: a write whose page misses the PMT will
+// raise a logging fault at service time; at snoop time it must act as a
+// barrier too (the logger cannot know where it routes).
+func TestAbsorbUnmappedPageIsBarrier(t *testing.T) {
+	l, _, _ := newRig(t, 8)
+	l.LoadPMT(1, 0)
+	l.SetLogHead(0, 0x2000, ModeRecord)
+	l.SetAbsorbWindow(8)
+
+	snoopW(l, 0x1100, 1, 10)
+	snoopW(l, 0x5000, 9, 20) // unmapped page
+	snoopW(l, 0x1100, 2, 30)
+	if l.Pending() != 3 || l.RecordsAbsorbed != 0 {
+		t.Fatalf("Pending=%d absorbed=%d, want 3/0", l.Pending(), l.RecordsAbsorbed)
+	}
+}
+
+// TestGroupCommitBatchCycles pins the batched DMA cycle model: a batch of
+// n records costs one lookup (15) + one DMA setup (10) + n×8 bus cycles,
+// against n×33 for per-record service.
+func TestGroupCommitBatchCycles(t *testing.T) {
+	l, mem, _ := newRig(t, 8)
+	l.LoadPMT(1, 0)
+	l.SetLogHead(0, 0x2000, ModeRecord)
+	l.SetGroupCommit(4, 10_000)
+
+	for i := uint64(0); i < 4; i++ {
+		snoopW(l, 0x1100+uint32(i*4), uint32(i), 100+i)
+	}
+	idle := l.DrainAll()
+	// The batch begins at its youngest member's arrival (103); dmaReady =
+	// 103+15 = 118, bus granted at 118 for 4*8 = 32 cycles, complete =
+	// 118 + (18-8) + 32 = 160.
+	want := uint64(103 + cycles.LoggerLookupCycles +
+		(cycles.LogRecordDMATotal - cycles.LogRecordDMABus) + 4*cycles.LogRecordDMABus)
+	if idle != want {
+		t.Fatalf("batch completion = %d, want %d", idle, want)
+	}
+	if l.GroupCommits != 1 || l.RecordsWritten != 4 {
+		t.Fatalf("GroupCommits=%d RecordsWritten=%d, want 1/4", l.GroupCommits, l.RecordsWritten)
+	}
+	for i := uint32(0); i < 4; i++ {
+		rec := logrec.Decode(mem.Frame(2)[16*i:])
+		if rec.Addr != 0x1100+i*4 || rec.Value != i {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+	if h := l.LogHead(0); !h.Valid || h.Addr != 0x2040 {
+		t.Fatalf("log head = %+v, want @0x2040", h)
+	}
+}
+
+// TestGroupCommitSingleMatchesLegacy: a batch of one must cost exactly
+// the per-record 33 cycles, so enabling group commit does not change the
+// model for sparse write streams.
+func TestGroupCommitSingleMatchesLegacy(t *testing.T) {
+	legacy, _, _ := newRig(t, 8)
+	legacy.LoadPMT(1, 0)
+	legacy.SetLogHead(0, 0x2000, ModeRecord)
+	snoopW(legacy, 0x1100, 1, 100)
+	wantIdle := legacy.DrainAll()
+
+	grouped, _, _ := newRig(t, 8)
+	grouped.LoadPMT(1, 0)
+	grouped.SetLogHead(0, 0x2000, ModeRecord)
+	grouped.SetGroupCommit(8, 1024)
+	snoopW(grouped, 0x1100, 1, 100)
+	if idle := grouped.DrainAll(); idle != wantIdle {
+		t.Fatalf("single-record group commit idle = %d, legacy = %d", idle, wantIdle)
+	}
+}
+
+// TestGroupCommitDeadline: with a long deadline and a partial batch,
+// PumpUntil holds the records back; once the head ages past the deadline
+// the partial batch flushes.
+func TestGroupCommitDeadline(t *testing.T) {
+	l, _, _ := newRig(t, 8)
+	l.LoadPMT(1, 0)
+	l.SetLogHead(0, 0x2000, ModeRecord)
+	l.SetGroupCommit(8, 500)
+
+	snoopW(l, 0x1100, 1, 100)
+	snoopW(l, 0x1104, 2, 120)
+	l.PumpUntil(400) // deadline (100+500) not reached: nothing drains
+	if l.Pending() != 2 || l.RecordsWritten != 0 {
+		t.Fatalf("drained before deadline: pending=%d written=%d", l.Pending(), l.RecordsWritten)
+	}
+	l.PumpUntil(10_000) // way past the deadline: partial batch flushes
+	if l.Pending() != 0 || l.RecordsWritten != 2 || l.GroupCommits != 1 {
+		t.Fatalf("deadline flush: pending=%d written=%d commits=%d",
+			l.Pending(), l.RecordsWritten, l.GroupCommits)
+	}
+}
+
+// TestGroupCommitFullBatchDoesNotWaitForDeadline: once groupSize records
+// are queued the batch is ready at the Nth record's arrival, not at the
+// head's deadline.
+func TestGroupCommitFullBatchDoesNotWaitForDeadline(t *testing.T) {
+	l, _, _ := newRig(t, 8)
+	l.LoadPMT(1, 0)
+	l.SetLogHead(0, 0x2000, ModeRecord)
+	l.SetGroupCommit(2, 100_000)
+
+	snoopW(l, 0x1100, 1, 100)
+	snoopW(l, 0x1104, 2, 140)
+	l.PumpUntil(1_000)
+	if l.RecordsWritten != 2 || l.GroupCommits != 1 {
+		t.Fatalf("full batch waited for deadline: written=%d commits=%d",
+			l.RecordsWritten, l.GroupCommits)
+	}
+}
+
+// TestGroupCommitStopsAtPageBoundary: a batch never crosses the log page;
+// the page-crossing head invalidation (and the logging fault it causes)
+// happens exactly as in per-record service.
+func TestGroupCommitStopsAtPageBoundary(t *testing.T) {
+	l, _, _ := newRig(t, 8)
+	l.LoadPMT(1, 0)
+	// 2 record slots left in the log page.
+	l.SetLogHead(0, 0x2fe0, ModeRecord)
+	l.SetGroupCommit(8, 0)
+
+	for i := uint32(0); i < 3; i++ {
+		snoopW(l, 0x1100+i*4, i, 100)
+	}
+	// First batch: 2 records, then the head goes invalid at the boundary.
+	faults := 0
+	l.OnFault = func(lg *Logger, f Fault) bool {
+		faults++
+		lg.SetLogHead(0, 0x4000, ModeRecord)
+		return true
+	}
+	l.DrainAll()
+	if l.RecordsWritten != 3 {
+		t.Fatalf("RecordsWritten = %d, want 3", l.RecordsWritten)
+	}
+	if faults != 1 {
+		t.Fatalf("faults = %d, want 1 page-crossing fault", faults)
+	}
+	if h := l.LogHead(0); !h.Valid || h.Addr != 0x4010 {
+		t.Fatalf("log head = %+v, want @0x4010", h)
+	}
+}
+
+// TestGroupCommitMixedLogsSplitBatches: records routed to different logs
+// never share a batch.
+func TestGroupCommitMixedLogsSplitBatches(t *testing.T) {
+	l, _, _ := newRig(t, 8)
+	l.LoadPMT(1, 0)
+	l.LoadPMT(2, 1)
+	l.SetLogHead(0, 0x3000, ModeRecord)
+	l.SetLogHead(1, 0x4000, ModeRecord)
+	l.SetGroupCommit(8, 0)
+
+	snoopW(l, 0x1100, 1, 100)
+	snoopW(l, 0x1104, 2, 100)
+	snoopW(l, 0x2100, 3, 100)
+	snoopW(l, 0x1108, 4, 100)
+	l.DrainAll()
+	if l.RecordsWritten != 4 {
+		t.Fatalf("RecordsWritten = %d", l.RecordsWritten)
+	}
+	if l.GroupCommits != 3 {
+		t.Fatalf("GroupCommits = %d, want 3 (log0 pair, log1 single, log0 single)", l.GroupCommits)
+	}
+	if h0 := l.LogHead(0); h0.Addr != 0x3030 {
+		t.Fatalf("log 0 head = %+v, want @0x3030", h0)
+	}
+	if h1 := l.LogHead(1); h1.Addr != 0x4010 {
+		t.Fatalf("log 1 head = %+v, want @0x4010", h1)
+	}
+}
+
+// TestDiscardPendingResetsAbsorption: after a crash discard, no stale
+// sequence state lets a new write absorb into entries that no longer
+// exist.
+func TestDiscardPendingResetsAbsorption(t *testing.T) {
+	l, _, _ := newRig(t, 8)
+	l.LoadPMT(1, 0)
+	l.SetLogHead(0, 0x2000, ModeRecord)
+	l.SetAbsorbWindow(8)
+
+	snoopW(l, 0x1100, 1, 10)
+	if n := l.DiscardPending(); n != 1 {
+		t.Fatalf("DiscardPending = %d", n)
+	}
+	snoopW(l, 0x1100, 2, 20)
+	if l.Pending() != 1 || l.RecordsAbsorbed != 0 {
+		t.Fatalf("absorbed into a discarded entry: pending=%d absorbed=%d",
+			l.Pending(), l.RecordsAbsorbed)
+	}
+}

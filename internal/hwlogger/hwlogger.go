@@ -58,8 +58,13 @@ const (
 )
 
 // PMTEntry is one page-mapping-table entry: physical page → log index.
+// Absorb is the page's absorb-enable attribute: writes to pages with the
+// bit clear act as absorption barriers (Section 3.1's FIFO discussion
+// proposes write absorption; marker-word pages must opt out so that
+// transaction brackets are never coalesced away or reordered across).
 type PMTEntry struct {
 	Valid    bool
+	Absorb   bool
 	Tag      uint8 // top 5 bits of the 20-bit PPN
 	LogIndex uint16
 }
@@ -120,6 +125,33 @@ type Logger struct {
 	fifoHead int
 	fifoLen  int
 
+	// Write absorption (disabled when absorbWindow == 0): a snooped write
+	// whose address matches a pending FIFO entry within the youngest
+	// absorbWindow entries overwrites that entry's value instead of
+	// enqueueing a new one. headSeq is the absolute (monotonic) sequence
+	// number of the FIFO head entry; absorbBase is the absolute sequence
+	// below which entries may never be absorbed into — it is raised past
+	// any write to a no-absorb page (a barrier), so coalescing can never
+	// move a store across a transaction marker.
+	absorbWindow int
+	headSeq      uint64
+	absorbBase   uint64
+	// absorbSig is a host-side fast-miss filter: one bit per hashed word
+	// address (addr>>2, mod 64) of every entry currently queued. It is a
+	// superset of the absorbable window — a clear bit proves no match and
+	// skips the scan; a set bit (possibly stale) just falls through to
+	// the exact scan. Cleared whenever the ring empties. It never changes
+	// simulated behavior, only host time.
+	absorbSig uint64
+
+	// Group commit (disabled when groupSize <= 1): instead of DMAing each
+	// record as soon as its lookup completes, the logger waits until
+	// groupSize records are queued or the head record has waited
+	// groupDeadline cycles, then drains the batch in one bus tenure —
+	// one lookup + one DMA setup amortized over the batch.
+	groupSize     int
+	groupDeadline uint64
+
 	// freeAt is when the logger engine finishes its current service.
 	freeAt uint64
 
@@ -149,11 +181,13 @@ type Logger struct {
 	Threshold int
 
 	// Stats.
-	RecordsWritten uint64
-	RecordsLost    uint64
-	Overloads      uint64
-	Faults         uint64
-	StallCycles    uint64
+	RecordsWritten  uint64
+	RecordsLost     uint64
+	RecordsAbsorbed uint64
+	GroupCommits    uint64
+	Overloads       uint64
+	Faults          uint64
+	StallCycles     uint64
 
 	// ms is the metrics shard the logger charges hardware events to; tr
 	// is the (possibly nil) event tracer. New installs a private shard so
@@ -199,8 +233,45 @@ func (l *Logger) FreeAt() uint64 { return l.freeAt }
 func (l *Logger) LoadPMT(ppn uint32, logIndex uint16) (displaced PMTEntry) {
 	idx := ppn & pmtIndexMask
 	displaced = l.pmt[idx]
-	l.pmt[idx] = PMTEntry{Valid: true, Tag: uint8(ppn >> pmtIndexBits), LogIndex: logIndex}
+	l.pmt[idx] = PMTEntry{Valid: true, Absorb: true, Tag: uint8(ppn >> pmtIndexBits), LogIndex: logIndex}
 	return displaced
+}
+
+// SetPMTAbsorb sets the absorb-enable attribute of ppn's page-mapping
+// entry, if one is present. The kernel clears it for pages holding
+// transaction marker words (see PMTEntry).
+func (l *Logger) SetPMTAbsorb(ppn uint32, absorb bool) {
+	idx := ppn & pmtIndexMask
+	if e := &l.pmt[idx]; e.Valid && e.Tag == uint8(ppn>>pmtIndexBits) {
+		e.Absorb = absorb
+	}
+}
+
+// SetAbsorbWindow configures write absorption: a snooped write may
+// coalesce into a matching pending entry among the youngest n FIFO
+// entries. n <= 0 disables absorption (the default, and the prototype's
+// behaviour).
+func (l *Logger) SetAbsorbWindow(n int) {
+	if n < 0 {
+		n = 0
+	}
+	l.absorbWindow = n
+}
+
+// AbsorbWindow reports the configured absorption window.
+func (l *Logger) AbsorbWindow() int { return l.absorbWindow }
+
+// SetGroupCommit configures batched DMA drains: records are held in the
+// FIFO until n are queued or the oldest has waited deadline cycles,
+// whichever comes first, then drained in one bus tenure. n <= 1 restores
+// per-record DMA (the default). Durability fences (Sync, DrainAll,
+// overload drains) still flush everything immediately.
+func (l *Logger) SetGroupCommit(n int, deadline uint64) {
+	if n < 1 {
+		n = 1
+	}
+	l.groupSize = n
+	l.groupDeadline = deadline
 }
 
 // InvalidatePMT removes the entry for ppn if it maps that page.
@@ -241,7 +312,13 @@ func (l *Logger) NumLogs() int { return len(l.logTable) }
 // kernel, which suspends the processors until the FIFOs drain; Snoop
 // models that by returning the resume cycle.
 func (l *Logger) Snoop(w machine.LoggedWrite) (stallUntil uint64) {
-	l.push(w)
+	if l.absorbWindow > 0 && l.tryAbsorb(&w) {
+		l.RecordsAbsorbed++
+		l.ms.Inc(metrics.HWSnoops)
+		l.ms.Inc(metrics.HWRecordsAbsorbed)
+		return w.Time
+	}
+	l.push(&w)
 	l.ms.Inc(metrics.HWSnoops)
 	l.ms.Observe(metrics.HistFIFODepth, uint64(l.fifoLen))
 	l.ms.SetMax(metrics.HWFIFOHighWater, uint64(l.fifoLen))
@@ -263,12 +340,69 @@ func (l *Logger) Snoop(w machine.LoggedWrite) (stallUntil uint64) {
 	return w.Time
 }
 
+// tryAbsorb attempts to coalesce w into a pending FIFO entry: the youngest
+// absorbWindow entries are scanned newest-first for a matching address and
+// size, bounded below by the head and by absorbBase (the last barrier).
+// A write to a page whose PMT entry is missing or has absorb disabled is a
+// barrier: it raises absorbBase past itself so no later write can coalesce
+// into an entry at or before it.
+func (l *Logger) tryAbsorb(w *machine.LoggedWrite) bool {
+	e := l.pmt[phys.PPN(w.Addr)&pmtIndexMask]
+	if !e.Valid || !e.Absorb || e.Tag != uint8(phys.PPN(w.Addr)>>pmtIndexBits) {
+		l.absorbBase = l.headSeq + uint64(l.fifoLen) + 1
+		return false
+	}
+	if l.absorbSig&(1<<((uint32(w.Addr)>>2)&63)) == 0 {
+		return false
+	}
+	top := l.headSeq + uint64(l.fifoLen)
+	floor := l.headSeq
+	if l.absorbBase > floor {
+		floor = l.absorbBase
+	}
+	if floor >= top {
+		return false
+	}
+	count := int(top - floor)
+	if count > l.absorbWindow {
+		count = l.absorbWindow
+	}
+	// Walk ring slots directly, newest first.
+	i := l.fifoHead + l.fifoLen - 1
+	if i >= len(l.fifo) {
+		i -= len(l.fifo)
+	}
+	for ; count > 0; count-- {
+		fe := &l.fifo[i]
+		if fe.Addr == w.Addr && fe.Size == w.Size {
+			// Keep the original entry's position and timestamp; only the
+			// datum changes — exactly what a hardware FIFO cell rewrite
+			// would do.
+			fe.Value = w.Value
+			return true
+		}
+		i--
+		if i < 0 {
+			i = len(l.fifo) - 1
+		}
+	}
+	return false
+}
+
 // PumpUntil services queued writes whose DMA would request the bus before
 // cycle t (the arrival time of the next competing bus request). Records
 // whose bus request would come later wait their turn: arbitration is
 // first-come-first-served by request time, so the logger does not reserve
 // future bus slots ahead of an earlier CPU request.
+//
+// Under group commit a record additionally waits until its batch is ready:
+// either groupSize records are queued, or the head record has aged
+// groupDeadline cycles.
 func (l *Logger) PumpUntil(t uint64) {
+	if l.groupSize > 1 {
+		l.pumpGrouped(t)
+		return
+	}
 	for l.Pending() > 0 {
 		start := l.freeAt
 		if e := l.fifo[l.fifoHead]; e.Time > start {
@@ -281,27 +415,71 @@ func (l *Logger) PumpUntil(t uint64) {
 	}
 }
 
+func (l *Logger) pumpGrouped(t uint64) {
+	for l.Pending() > 0 {
+		head := &l.fifo[l.fifoHead]
+		// The batch is ready at the earlier of "groupSize records queued"
+		// (the arrival of the Nth) and "the head aged out".
+		ready := head.Time + l.groupDeadline
+		if l.fifoLen >= l.groupSize {
+			if nt := l.nthTime(l.groupSize - 1); nt < ready {
+				ready = nt
+			}
+		}
+		start := l.freeAt
+		if ready > start {
+			start = ready
+		}
+		if start+cycles.LoggerLookupCycles >= t {
+			return
+		}
+		l.serviceBatch(start, false)
+	}
+}
+
+// nthTime returns the snoop time of the i-th queued entry (0 = head).
+func (l *Logger) nthTime(i int) uint64 {
+	idx := l.fifoHead + i
+	if idx >= len(l.fifo) {
+		idx -= len(l.fifo)
+	}
+	return l.fifo[idx].Time
+}
+
 // DrainAll services everything queued and returns the idle cycle.
 func (l *Logger) DrainAll() uint64 {
 	for l.Pending() > 0 {
-		l.serviceOne()
+		if l.groupSize > 1 {
+			start := l.freeAt
+			if e := l.fifo[l.fifoHead]; e.Time > start {
+				start = e.Time
+			}
+			l.serviceBatch(start, true)
+		} else {
+			l.serviceOne()
+		}
 	}
 	return l.freeAt
 }
 
-func (l *Logger) push(w machine.LoggedWrite) {
+func (l *Logger) push(w *machine.LoggedWrite) {
 	if l.fifoLen >= l.Capacity {
 		// Cannot happen with threshold < capacity, but never lose the
 		// accounting if an experiment disables overloads.
 		l.recordLost()
 		return
 	}
+	l.absorbSig |= 1 << ((uint32(w.Addr) >> 2) & 63)
 	if l.fifoLen == 0 {
 		// Empty ring: rewind so the common drained-between-stores case
 		// keeps reusing the same few slots instead of streaming through
 		// the whole ring (which evicts it from the host's L1).
 		l.fifoHead = 0
-	} else if l.fifoLen == len(l.fifo) {
+		l.fifo[0] = *w
+		l.fifoLen = 1
+		return
+	}
+	if l.fifoLen == len(l.fifo) {
 		// Capacity was raised past the ring's allocation (experiments
 		// resize the FIFO after New): re-linearize into a larger ring,
 		// once per resize.
@@ -316,7 +494,7 @@ func (l *Logger) push(w machine.LoggedWrite) {
 	if idx >= len(l.fifo) {
 		idx -= len(l.fifo)
 	}
-	l.fifo[idx] = w
+	l.fifo[idx] = *w
 	l.fifoLen++
 }
 
@@ -327,6 +505,10 @@ func (l *Logger) pop() machine.LoggedWrite {
 		l.fifoHead = 0
 	}
 	l.fifoLen--
+	l.headSeq++
+	if l.fifoLen == 0 {
+		l.absorbSig = 0
+	}
 	return w
 }
 
@@ -436,6 +618,131 @@ func (l *Logger) serviceOne() {
 	l.freeAt = complete
 }
 
+// serviceBatch drains up to groupSize FIFO-head records as one group
+// commit beginning at cycle start: one PMT + log-table lookup for the
+// whole batch, one DMA setup, and one bus tenure of n×LogRecordDMABus
+// cycles. The batch ends at the first record that routes to a different
+// log, would cross the log page boundary, or — unless drain is set —
+// arrived after start. A drain (Sync, overload, crash capture) flushes
+// everything queued, so it batches regardless of arrival time but cannot
+// begin before its youngest member arrived. A head record that needs
+// fault handling — or a non-record-mode log — falls back to the
+// per-record path, which charges the full fault cost.
+func (l *Logger) serviceBatch(start uint64, drain bool) {
+	head := &l.fifo[l.fifoHead]
+	logIndex, ok := l.LookupPMT(phys.PPN(head.Addr))
+	if !ok {
+		l.serviceOne()
+		return
+	}
+	lt := &l.logTable[logIndex]
+	if !lt.Valid || lt.Mode != ModeRecord {
+		l.serviceOne()
+		return
+	}
+	room := int((phys.PageSize - uint32(lt.Addr&phys.PageMask)) / logrec.Size)
+	n := 1
+	youngest := head.Time
+	for n < l.groupSize && n < l.fifoLen && n < room {
+		idx := l.fifoHead + n
+		if idx >= len(l.fifo) {
+			idx -= len(l.fifo)
+		}
+		e := &l.fifo[idx]
+		if !drain && e.Time > start {
+			break
+		}
+		if li, ok2 := l.LookupPMT(phys.PPN(e.Addr)); !ok2 || li != logIndex {
+			break
+		}
+		if e.Time > youngest {
+			youngest = e.Time
+		}
+		n++
+	}
+	if youngest > start {
+		start = youngest
+	}
+
+	// One lookup, then one DMA transfer of n records: the bus is held for
+	// n×LogRecordDMABus cycles, and the transfer completes one DMA setup
+	// (LogRecordDMATotal − LogRecordDMABus cycles) after the grant plus
+	// the bus time. For n == 1 this is exactly the per-record cost.
+	dmaReady := start + cycles.LoggerLookupCycles
+	busCycles := uint32(n) * cycles.LogRecordDMABus
+	grant := l.bus.Acquire(dmaReady, busCycles)
+	complete := grant + (cycles.LogRecordDMATotal - cycles.LogRecordDMABus) + uint64(busCycles)
+	l.ms.Add(metrics.HWDMAWaitCycles, grant-dmaReady)
+
+	oldest := head.Time
+	frame := l.mem.Frame(phys.PPN(lt.Addr))
+	off := int(lt.Addr & phys.PageMask)
+	written := 0
+	if l.DMAHook == nil {
+		// Fast path: encode straight out of the ring and advance the head
+		// once for the whole batch.
+		idx := l.fifoHead
+		for i := 0; i < n; i++ {
+			e := &l.fifo[idx]
+			rec := logrec.Record{
+				Addr:      e.Addr,
+				Value:     e.Value,
+				WriteSize: e.Size,
+				CPU:       e.CPU,
+				Timestamp: cycles.ToTimestamp(e.Time),
+			}
+			rec.Encode(frame[off+written : off+written+logrec.Size])
+			written += logrec.Size
+			idx++
+			if idx == len(l.fifo) {
+				idx = 0
+			}
+		}
+		l.fifoHead = idx
+		l.fifoLen -= n
+		l.headSeq += uint64(n)
+		if l.fifoLen == 0 {
+			l.absorbSig = 0
+		}
+		l.RecordsWritten += uint64(n)
+		l.ms.Add(metrics.HWRecordsDMAed, uint64(n))
+	} else {
+		for i := 0; i < n; i++ {
+			e := l.pop()
+			rec := logrec.Record{
+				Addr:      e.Addr,
+				Value:     e.Value,
+				WriteSize: e.Size,
+				CPU:       e.CPU,
+				Timestamp: cycles.ToTimestamp(e.Time),
+			}
+			l.hookRec = rec
+			if l.DMAHook(&l.hookRec, lt.Addr+phys.Addr(written)) {
+				// This record's transfer was lost: the later batch members
+				// close the gap so the log stays dense.
+				l.recordLost()
+				continue
+			}
+			rec = l.hookRec
+			rec.Encode(frame[off+written : off+written+logrec.Size])
+			written += logrec.Size
+			l.RecordsWritten++
+			l.ms.Inc(metrics.HWRecordsDMAed)
+		}
+	}
+	if written > 0 {
+		lt.Addr += phys.Addr(written)
+		if lt.Addr&phys.PageMask == 0 {
+			lt.Valid = false
+		}
+	}
+	l.GroupCommits++
+	l.ms.Inc(metrics.HWGroupCommits)
+	l.ms.Observe(metrics.HistBatchSize, uint64(n))
+	l.ms.Observe(metrics.HistCommitLatency, complete-oldest)
+	l.freeAt = complete
+}
+
 // recordLost tallies a dropped record in both the legacy stats field and
 // the metrics shard.
 func (l *Logger) recordLost() {
@@ -462,6 +769,9 @@ func (l *Logger) PendingWrites(fn func(w machine.LoggedWrite)) {
 // accounting of what was lost.
 func (l *Logger) DiscardPending() int {
 	n := l.fifoLen
+	l.headSeq += uint64(n)
+	l.absorbBase = l.headSeq
+	l.absorbSig = 0
 	l.fifoLen = 0
 	l.fifoHead = 0
 	return n

@@ -295,7 +295,7 @@ func (s *Shipper) connAcks(c *shipConn) {
 
 func (s *Shipper) ping() {
 	select {
-	case s.ack <- struct{}{}:
+	case s.ack <- struct{}{}: //errgate:ok — ack coalescing: a pending token already wakes the waiter
 	default:
 	}
 }
@@ -373,7 +373,7 @@ func (s *Shipper) offer(c *shipConn, frame []byte) {
 		return
 	}
 	select {
-	case c.ch <- frame:
+	case c.ch <- frame: //errgate:ok — full window falls through to the OnFull policy below, which counts the drop
 		s.Stats.BytesShipped.Add(uint64(len(frame)))
 		return
 	default:

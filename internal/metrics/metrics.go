@@ -44,6 +44,8 @@ const (
 	HWLoggingFaultsPMT               // logging faults: missing/displaced PMT entry
 	HWLoggingFaultsLogAddr           // logging faults: invalid log address (page crossing)
 	HWRecordsLost                    // records dropped (handler declined or absorb)
+	HWRecordsAbsorbed                // writes coalesced into a pending FIFO entry
+	HWGroupCommits                   // batched DMA drains (group commits) issued
 
 	// On-chip logger (Section 4.6; Figure 13).
 	ChipDescHits     // log-descriptor lookups that hit a valid descriptor
@@ -118,6 +120,8 @@ var counterMeta = [NumIDs]struct {
 	HWLoggingFaultsPMT:     {"hwlogger.logging_faults_pmt", KindSum},
 	HWLoggingFaultsLogAddr: {"hwlogger.logging_faults_log_addr", KindSum},
 	HWRecordsLost:          {"hwlogger.records_lost", KindSum},
+	HWRecordsAbsorbed:      {"hwlogger.records_absorbed", KindSum},
+	HWGroupCommits:         {"hwlogger.group_commits", KindSum},
 	ChipDescHits:           {"tlblog.descriptor_hits", KindSum},
 	ChipDescMisses:         {"tlblog.descriptor_misses", KindSum},
 	ChipRecordsDMAed:       {"tlblog.records_dmaed", KindSum},
@@ -166,14 +170,23 @@ const (
 	// HistStallCycles observes per-event CPU stall lengths (overload
 	// suspensions, on-chip write-buffer stalls).
 	HistStallCycles
+	// HistBatchSize observes the number of records per group-commit DMA
+	// drain (1 when group commit is disabled and every record DMAs alone).
+	HistBatchSize
+	// HistCommitLatency observes, per group commit, the cycles between the
+	// oldest batched record's snoop and the batch's DMA completion — the
+	// durability latency the group-commit deadline bounds.
+	HistCommitLatency
 
 	// NumHistIDs is the histogram-array length; keep it last.
 	NumHistIDs
 )
 
 var histName = [NumHistIDs]string{
-	HistFIFODepth:   "hwlogger.fifo_depth",
-	HistStallCycles: "machine.stall_event_cycles",
+	HistFIFODepth:     "hwlogger.fifo_depth",
+	HistStallCycles:   "machine.stall_event_cycles",
+	HistBatchSize:     "hwlogger.batch_size",
+	HistCommitLatency: "hwlogger.commit_latency_cycles",
 }
 
 // Name returns a histogram's snapshot name.

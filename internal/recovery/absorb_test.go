@@ -1,0 +1,91 @@
+package recovery
+
+import (
+	"testing"
+
+	"lvm/internal/core"
+)
+
+// absorbRun drives one seeded hot-address transaction workload — lots of
+// repeated stores to the same words, exactly what write absorption
+// coalesces — and replays its log into a fresh segment. The expected
+// final state is tracked in a Shadow (last committed write wins).
+func absorbRun(t *testing.T, absorb bool, shadow *Shadow) (*core.Segment, uint64) {
+	t.Helper()
+	const size = 16 * core.PageSize
+	sys := core.NewSystem(core.Config{NumCPUs: 1, MemFrames: 2048})
+	seg := core.NewNamedSegment(sys, "abs-data", size, nil)
+	seg.SetNoAbsorbLimit(markerLimit)
+	reg := core.NewStdRegion(sys, seg)
+	ls := core.NewLogSegment(sys, 128)
+	if err := reg.Log(ls); err != nil {
+		t.Fatal(err)
+	}
+	as := sys.NewAddressSpace()
+	base, err := reg.Bind(as, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.NewProcess(0, as)
+	if absorb {
+		sys.EnableWriteAbsorption(8)
+		sys.EnableGroupCommit(8, 1024)
+	}
+
+	// A small pool of hot words: most stores rewrite a recently written
+	// word, so the absorbing run coalesces heavily.
+	var hot [6]uint32
+	rng := uint64(0x9E3779B9)
+	next := func() uint32 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return uint32(rng)
+	}
+	for i := range hot {
+		hot[i] = markerLimit + (next()%((size-markerLimit)/4))*4
+	}
+	for txn := uint32(1); txn <= 120; txn++ {
+		p.Store32(base, txn)
+		n := 3 + int(next()%8)
+		for j := 0; j < n; j++ {
+			off := hot[next()%uint32(len(hot))]
+			v := next()
+			p.Store32(base+off, v)
+			shadow.Write32(off, v)
+		}
+		p.Store32(base, txn|MarkerCommit)
+	}
+	sys.Sync()
+
+	dst := core.NewNamedSegment(sys, "abs-recovered", size, nil)
+	res := Replay(sys, ReplayOptions{Log: ls, Data: seg, Dst: dst, MarkerLimit: markerLimit})
+	if res.Quarantined() || res.Txns != 120 {
+		t.Fatalf("absorb=%v replay = %+v, want 120 clean txns", absorb, res)
+	}
+	return dst, sys.K.Log.RecordsAbsorbed
+}
+
+// TestAbsorbedRecoveryIdentical is the determinism check from the issue:
+// an absorbing run and a non-absorbing run of the same workload must
+// recover to identical segment images (validated via Shadow.Diff), even
+// though the absorbing log holds far fewer records.
+func TestAbsorbedRecoveryIdentical(t *testing.T) {
+	shadowPlain := NewShadow(16 * core.PageSize)
+	dstPlain, absorbedPlain := absorbRun(t, false, shadowPlain)
+	if absorbedPlain != 0 {
+		t.Fatalf("non-absorbing run absorbed %d records", absorbedPlain)
+	}
+	if d := shadowPlain.Diff(dstPlain, markerLimit); len(d) != 0 {
+		t.Fatalf("plain recovery diverges from shadow: %v", d)
+	}
+
+	shadowAbs := NewShadow(16 * core.PageSize)
+	dstAbs, absorbed := absorbRun(t, true, shadowAbs)
+	if absorbed == 0 {
+		t.Fatal("absorbing run absorbed nothing — hot workload not exercising the window")
+	}
+	if d := shadowAbs.Diff(dstAbs, markerLimit); len(d) != 0 {
+		t.Fatalf("absorbed recovery diverges from shadow: %v", d)
+	}
+}

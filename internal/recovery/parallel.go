@@ -1,0 +1,206 @@
+package recovery
+
+import (
+	"lvm/internal/core"
+	"lvm/internal/logrec"
+	"lvm/internal/metrics"
+	"lvm/internal/sim"
+)
+
+// Partitioned parallel replay.
+//
+// The sequential Replay is a single pass doing three different kinds of
+// work per record: (1) read + decode + reverse-translate + validate, (2)
+// walk the marker-word transaction protocol, (3) write committed values
+// into Dst. (1) and (3) dominate and parallelize; (2) is a trivial
+// in-memory state machine but is order-sensitive.
+//
+// So the parallel path runs three phases:
+//
+//	A. decode: the record range is cut into one contiguous chunk per
+//	   worker; each worker runs its own core.NewLogReaderAt over a
+//	   quiescent machine (reads only) and fills a preallocated slot per
+//	   record — segment offset, value, size, valid/is-data flags.
+//	B. walk: one sequential pass over the decoded slots replicates the
+//	   marker state machine exactly — same Scanned/Txns/Skipped/
+//	   quarantine accounting as the sequential scan — and routes each
+//	   committed write, in log order, to the partition owning its
+//	   destination page (page number mod workers).
+//	C. apply: after pre-faulting every touched destination page (frame
+//	   allocation mutates kernel-global state), the partitions are
+//	   applied concurrently. Partitions own disjoint pages and logged
+//	   writes never cross a page (size <= 4, size-aligned), and each
+//	   partition preserves log order, so the resulting image is
+//	   byte-identical to the sequential scan's.
+type parRec struct {
+	segOff uint32
+	value  uint32
+	size   uint16
+	flags  uint8
+}
+
+const (
+	prValid uint8 = 1 << iota // passed record validation
+	prData                    // resolves to the Data segment
+)
+
+// applyRec is one committed write routed to a page partition.
+type applyRec struct {
+	segOff uint32
+	value  uint32
+	size   uint16
+}
+
+// replayParallel runs the three-phase parallel replay. ok=false means the
+// options cannot be replayed in parallel (non-page-local destination) and
+// the caller must take the sequential path.
+func replayParallel(sys *core.System, o ReplayOptions) (Result, bool) {
+	if o.Dst != nil && !o.Dst.ParallelApplySafe() {
+		return Result{}, false
+	}
+	workers := o.Workers
+	res := Result{QuarantinedFrom: NoQuarantine}
+	sh := sys.DeviceShard()
+	sh.Inc(metrics.RecoveryReplays)
+	if sys.K.Log != nil {
+		res.LostRecords = sys.K.Log.RecordsLost
+	}
+
+	// Establish the scan bounds exactly as the sequential path does: one
+	// synced reader, then everything below runs against a quiescent
+	// machine.
+	r := core.NewLogReader(sys, o.Log)
+	if o.End != 0 {
+		r.SetEnd(o.End)
+	}
+	end := r.End()
+	start := o.Start - o.Start%logrec.Size
+	if start > end {
+		start = end
+	}
+	if start > 0 {
+		sh.Add(metrics.RecoverySkippedBytes, uint64(start))
+	}
+	total := int((end - start) / logrec.Size)
+	if total == 0 {
+		return res, true
+	}
+
+	// Phase A: parallel decode + validate into preallocated slots.
+	recs := make([]parRec, total)
+	chunk := (total + workers - 1) / workers
+	nchunks := (total + chunk - 1) / chunk
+	_, _ = sim.MapWorkers(workers, nchunks, func(ci int) (struct{}, error) {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		rr := core.NewLogReaderAt(sys, o.Log, start+uint32(lo)*logrec.Size, end)
+		for i := lo; i < hi; i++ {
+			rec, ok := rr.Next()
+			if !ok {
+				break
+			}
+			pr := &recs[i]
+			pr.segOff = rec.SegOff
+			pr.value = rec.Value
+			pr.size = rec.WriteSize
+			if valid(rec) {
+				pr.flags |= prValid
+			}
+			if rec.Seg == o.Data {
+				pr.flags |= prData
+			}
+		}
+		return struct{}{}, nil
+	})
+
+	// Phase B: sequential marker walk, identical to the in-line state
+	// machine of the sequential Replay, routing committed writes to page
+	// partitions instead of applying them.
+	parts := make([][]applyRec, workers)
+	var batch []applyRec
+	applied := 0
+	route := func(a applyRec) {
+		p := int(a.segOff/core.PageSize) % workers
+		parts[p] = append(parts[p], a)
+		applied++
+	}
+	for i := 0; i < total; i++ {
+		pr := &recs[i]
+		off := start + uint32(i)*logrec.Size
+		res.Scanned++
+		if pr.flags&prValid == 0 {
+			res.InvalidRecords++
+			sh.Inc(metrics.RecoveryInvalidRecords)
+			res.QuarantinedFrom = off
+			res.QuarantinedBytes = end - off
+			sh.Add(metrics.QuarantinedBytes, uint64(res.QuarantinedBytes))
+			res.IncompleteTail += len(batch)
+			batch = nil
+			break
+		}
+		if pr.flags&prData == 0 {
+			res.Skipped++
+			continue
+		}
+		if !o.ApplyAll && pr.segOff < o.MarkerLimit {
+			if pr.value&MarkerCommit != 0 {
+				res.LastSeq = pr.value &^ MarkerCommit
+				res.Txns++
+				for _, b := range batch {
+					route(b)
+				}
+			}
+			// A begin marker after an uncommitted transaction drops that
+			// transaction's buffered writes, same as a commit flush.
+			batch = batch[:0]
+			continue
+		}
+		a := applyRec{segOff: pr.segOff, value: pr.value, size: pr.size}
+		if o.ApplyAll {
+			route(a)
+		} else {
+			batch = append(batch, a)
+		}
+	}
+	res.IncompleteTail += len(batch)
+	res.Applied = applied
+	sh.Add(metrics.RecoveryRecordsApplied, uint64(applied))
+
+	// Phase C: parallel apply over disjoint page partitions.
+	if o.Dst != nil && applied > 0 {
+		// Pre-fault every destination page first: ensureFrame mutates the
+		// physical allocator and the kernel's frame-owner map, which must
+		// not happen concurrently. After this, partition writers only
+		// touch their own pages' frames and per-page dirty state.
+		touched := make([]bool, o.Dst.NumPages())
+		for _, part := range parts {
+			for _, a := range part {
+				page := a.segOff / core.PageSize
+				if !touched[page] {
+					touched[page] = true
+					if _, err := o.Dst.EnsureResident(page); err != nil {
+						panic(err) // same as the sequential RawWrite path
+					}
+				}
+			}
+		}
+		_, _ = sim.MapWorkers(workers, workers, func(w int) (struct{}, error) {
+			var buf [4]byte
+			for _, a := range parts[w] {
+				n := int(a.size)
+				if n > 4 {
+					n = 4
+				}
+				for b := 0; b < n; b++ {
+					buf[b] = byte(a.value >> (8 * b))
+				}
+				o.Dst.RawWrite(a.segOff, buf[:n])
+			}
+			return struct{}{}, nil
+		})
+	}
+	return res, true
+}

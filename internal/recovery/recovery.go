@@ -57,6 +57,14 @@ type ReplayOptions struct {
 	// state the skipped prefix described must come from the checkpoint
 	// image the caller loaded into Dst. 0 replays the whole log.
 	Start uint32
+	// Workers > 1 enables partitioned parallel replay: record decode and
+	// validation are sharded across host workers, the marker-transaction
+	// walk stays sequential (it is a cheap in-memory pass), and committed
+	// writes are applied concurrently with pages partitioned across
+	// workers — producing a Result and destination image byte-identical
+	// to the sequential scan. Falls back to the sequential path when the
+	// destination segment's write path is not page-local.
+	Workers int
 }
 
 // Result reports what one replay did and what it could not recover.
@@ -85,6 +93,11 @@ func (r *Result) Quarantined() bool { return r.QuarantinedFrom != NoQuarantine }
 // options. It never panics on damaged input: the first record that
 // fails validation ends the scan and quarantines the rest of the log.
 func Replay(sys *core.System, o ReplayOptions) Result {
+	if o.Workers > 1 {
+		if res, ok := replayParallel(sys, o); ok {
+			return res
+		}
+	}
 	res := Result{QuarantinedFrom: NoQuarantine}
 	sh := sys.DeviceShard()
 	sh.Inc(metrics.RecoveryReplays)

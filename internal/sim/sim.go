@@ -48,11 +48,19 @@ func SetWorkers(n int) {
 // error a sequential loop would have surfaced first — and the results
 // slice is nil.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkers(Workers(), n, fn)
+}
+
+// MapWorkers is Map with an explicit worker count for this call only,
+// independent of the global pool setting. Callers that parallelize inside
+// one simulation (e.g. partitioned log recovery) use it so they never race
+// with a concurrently configured sweep pool.
+func MapWorkers[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
 	results := make([]T, n)
-	nw := Workers()
+	nw := workers
 	if nw > n {
 		nw = n
 	}

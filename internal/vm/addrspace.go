@@ -308,7 +308,7 @@ func (k *Kernel) pageFault(e *pte, cpu *machineCPU) error {
 			}
 		}
 		frame := e.seg.pages[e.segPage].frame
-		displaced := k.Log.LoadPMT(frame, ls.logIndex)
+		displaced := k.loadPMT(e.seg, e.segPage, frame, ls.logIndex)
 		_ = displaced // displaced pages recover via logging faults
 	} else {
 		e.logged = false

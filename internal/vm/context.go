@@ -58,7 +58,7 @@ func (k *Kernel) Activate(r *Region, cpu *machineCPU) error {
 	n := uint64(0)
 	for page := range s.pages {
 		if f := s.pages[page].frame; f != 0 {
-			k.Log.LoadPMT(f, ls.logIndex)
+			k.loadPMT(s, uint32(page), f, ls.logIndex)
 			n++
 		}
 	}

@@ -185,6 +185,18 @@ func (k *Kernel) ReverseTranslate(paddr phys.Addr) (seg *Segment, off uint32, ok
 	return o.seg, o.page*PageSize + paddr&PageMask, true
 }
 
+// loadPMT installs the logger's page-mapping entry for data page `page`
+// of segment s (resident in `frame`), clearing the absorb-enable bit when
+// the page overlaps the segment's no-absorb prefix so marker-word writes
+// are never coalesced.
+func (k *Kernel) loadPMT(s *Segment, page, frame uint32, logIndex uint16) (displaced hwlogger.PMTEntry) {
+	displaced = k.Log.LoadPMT(frame, logIndex)
+	if s.noAbsorbLimit > 0 && page*PageSize < s.noAbsorbLimit {
+		k.Log.SetPMTAbsorb(frame, false)
+	}
+	return displaced
+}
+
 // handleLoggingFault is the kernel's logging-fault handler (Section 3.2).
 func (k *Kernel) handleLoggingFault(l *hwlogger.Logger, f hwlogger.Fault) bool {
 	k.LoggingFaults++
@@ -198,7 +210,7 @@ func (k *Kernel) handleLoggingFault(l *hwlogger.Logger, f hwlogger.Fault) bool {
 			return false
 		}
 		o.seg.loggingFaults++
-		l.LoadPMT(f.PPN, o.seg.logIndex)
+		k.loadPMT(o.seg, o.page, f.PPN, o.seg.logIndex)
 		if !l.LogHead(o.seg.logIndex).Valid {
 			return k.advanceLogHead(o.seg.logTo)
 		}

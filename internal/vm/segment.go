@@ -84,7 +84,26 @@ type Segment struct {
 	// in: PMT reloads for data segments, page-crossing head advances for
 	// log segments (Section 3.2).
 	loggingFaults uint64
+
+	// noAbsorbLimit: offsets below this are transaction marker words, so
+	// pages overlapping [0, noAbsorbLimit) get their PMT absorb-enable
+	// bit cleared — their writes are absorption barriers.
+	noAbsorbLimit uint32
 }
+
+// SetNoAbsorbLimit marks the first limit bytes of the segment as
+// never-absorb: writes to pages overlapping the range act as write-
+// absorption barriers in the hardware logger, so marker-word stores keep
+// their order and multiplicity in the log. Takes effect for pages mapped
+// after the call; call before binding (or re-Activate) for full coverage.
+func (s *Segment) SetNoAbsorbLimit(limit uint32) { s.noAbsorbLimit = limit }
+
+// ParallelApplySafe reports whether page-disjoint concurrent RawWrites to
+// this segment are race-free once its pages are resident: there must be
+// no deferred-copy source (line-sourcing state spans the segment) and no
+// write-protect checkpointer (its fault hook mutates shared state).
+// Partitioned parallel recovery checks this before fanning out.
+func (s *Segment) ParallelApplySafe() bool { return s.source == nil && s.wp == nil }
 
 // LoggingFaultCount reports how many logging faults involved this segment.
 func (s *Segment) LoggingFaultCount() uint64 { return s.loggingFaults }

@@ -20,10 +20,16 @@ candidate=$(mktemp -d)
 trap 'rm -rf "$candidate"' EXIT
 
 # bench-json writes BENCH_lvm.json into the current directory; run it in
-# the scratch dir so the committed baseline is never touched.
+# the scratch dir so the committed baseline is never touched. GOMAXPROCS
+# is deliberately left unset and -parallel 0 lets the worker pool size
+# itself from the real core count: the parallel fig7/recovery numbers are
+# only meaningful (and only gated) when the pool actually gets the
+# machine's cores, and bench-json records the honest gomaxprocs it ran
+# with so benchgate can tell.
+unset GOMAXPROCS
 go build -o "$candidate/lvmbench" ./cmd/lvmbench
 go build -o "$candidate/benchgate" ./cmd/benchgate
-(cd "$candidate" && ./lvmbench -events 100 bench-json)
+(cd "$candidate" && ./lvmbench -events 100 -parallel 0 bench-json)
 
 "$candidate/benchgate" -tolerance "$tolerance" \
     "$repo_root/BENCH_lvm.json" "$candidate/BENCH_lvm.json"
