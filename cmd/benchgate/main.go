@@ -58,6 +58,18 @@ type gateInput struct {
 	Compaction *struct {
 		TailGrowth *float64 `json:"tail_growth"`
 	} `json:"compaction"`
+	// Serving is optional (older baselines predate the daemon): when the
+	// candidate ran the in-process lvmd fleet, every sent commit must
+	// have been acknowledged (all_acked — the stall policy is not allowed
+	// to drop), the drain must be clean, and the summed per-shard
+	// counters must show live lvmd.commits instrumentation. Throughput
+	// and latency stay informational: they are host-dependent.
+	Serving *struct {
+		AllAcked      *bool             `json:"all_acked"`
+		DrainClean    *bool             `json:"drain_clean"`
+		CommitsPerSec float64           `json:"commits_per_sec"`
+		Counters      map[string]uint64 `json:"counters"`
+	} `json:"serving"`
 	Counters map[string]uint64 `json:"counters"`
 }
 
@@ -188,6 +200,23 @@ func gate(base, cand *gateInput, tolerance float64) (lines []string, ok bool) {
 		ok = false
 	default:
 		lines = append(lines, fmt.Sprintf("compaction tail growth: %.2fx ok", *cand.Compaction.TailGrowth))
+	}
+
+	switch {
+	case cand.Serving == nil || cand.Serving.AllAcked == nil:
+		lines = append(lines, "serving: candidate has no serving section (skipped)")
+	case !*cand.Serving.AllAcked:
+		lines = append(lines, "serving: commits sent but not acknowledged FAIL (stall policy dropped work)")
+		ok = false
+	case cand.Serving.DrainClean != nil && !*cand.Serving.DrainClean:
+		lines = append(lines, "serving drain: unclean FAIL")
+		ok = false
+	case cand.Serving.Counters["lvmd.commits"] == 0:
+		lines = append(lines, "serving counters: lvmd.commits is zero FAIL (daemon metrics unwired?)")
+		ok = false
+	default:
+		lines = append(lines, fmt.Sprintf("serving: all acked, clean drain, %.0f commits/s ok",
+			cand.Serving.CommitsPerSec))
 	}
 
 	// The candidate must prove instrumentation was live while it hit the

@@ -180,6 +180,48 @@ func TestGateRecovery(t *testing.T) {
 	}
 }
 
+// TestGateServing pins the daemon gate: an unacked commit or unclean
+// drain fails regardless of host speed, a zero lvmd.commits counter fails
+// (instrumentation unwired), and a candidate without the section (an
+// older lvmbench) skips.
+func TestGateServing(t *testing.T) {
+	base := report(t, 47.0, 0, "")
+	counters := `, "counters": {"hwlogger.snoops": 12}`
+
+	healthy := report(t, 47.0, 0, counters+
+		`, "serving": {"all_acked": true, "drain_clean": true, "commits_per_sec": 7000, "counters": {"lvmd.commits": 10937}}`)
+	if lines, ok := gate(base, healthy, 0.10); !ok {
+		t.Fatalf("healthy serving run failed the gate: %v", lines)
+	}
+
+	dropped := report(t, 47.0, 0, counters+
+		`, "serving": {"all_acked": false, "drain_clean": true, "commits_per_sec": 7000, "counters": {"lvmd.commits": 10937}}`)
+	lines, ok := gate(base, dropped, 0.10)
+	if ok {
+		t.Fatalf("serving run with dropped commits passed the gate: %v", lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "not acknowledged") {
+		t.Fatalf("no acknowledgement verdict in %v", lines)
+	}
+
+	unclean := report(t, 47.0, 0, counters+
+		`, "serving": {"all_acked": true, "drain_clean": false, "commits_per_sec": 7000, "counters": {"lvmd.commits": 10937}}`)
+	if lines, ok := gate(base, unclean, 0.10); ok {
+		t.Fatalf("unclean drain passed the gate: %v", lines)
+	}
+
+	unwired := report(t, 47.0, 0, counters+
+		`, "serving": {"all_acked": true, "drain_clean": true, "commits_per_sec": 7000, "counters": {}}`)
+	if lines, ok := gate(base, unwired, 0.10); ok {
+		t.Fatalf("serving run without lvmd.commits passed the gate: %v", lines)
+	}
+
+	absent := report(t, 47.0, 0, counters)
+	if lines, ok := gate(base, absent, 0.10); !ok {
+		t.Fatalf("serving-less candidate failed the gate: %v", lines)
+	}
+}
+
 func TestGateFailsOnEmptyCounters(t *testing.T) {
 	base := report(t, 47.0, 0, "")
 	cand := report(t, 47.0, 0, "")

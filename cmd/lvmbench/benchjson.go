@@ -70,6 +70,30 @@ type benchReport struct {
 		Identical     bool           `json:"output_identical"`
 	} `json:"recovery"`
 
+	// Serving drives the in-process lvmd daemon (mem transport) with the
+	// lvmload client fleet and drains it. Latency numbers are host
+	// wall-clock, informational; all_acked, drain_clean and the summed
+	// per-shard lvmd.*/compact.* counters are the gate inputs — a stall
+	// policy dropping acknowledged commits or an unclean drain is a
+	// correctness regression regardless of host speed.
+	Serving struct {
+		Shards        int               `json:"shards"`
+		Clients       int               `json:"clients"`
+		Segments      int               `json:"segments"`
+		Seconds       float64           `json:"seconds"`
+		Sent          uint64            `json:"sent"`
+		Acked         uint64            `json:"acked"`
+		Deaths        uint64            `json:"deaths"`
+		ReadErrors    uint64            `json:"read_errors"`
+		CommitsPerSec float64           `json:"commits_per_sec"`
+		P50us         float64           `json:"p50_us"`
+		P95us         float64           `json:"p95_us"`
+		P99us         float64           `json:"p99_us"`
+		AllAcked      bool              `json:"all_acked"`
+		DrainClean    bool              `json:"drain_clean"`
+		Counters      map[string]uint64 `json:"counters"`
+	} `json:"serving"`
+
 	// Counters is the non-zero metrics snapshot of the benchmarked
 	// system after the final run — proof the instrumented hot path was
 	// actually counting while hitting the ns/store number above.
@@ -180,6 +204,9 @@ func benchJSON() error {
 	if err := recoveryBench(&r); err != nil {
 		return err
 	}
+	if err := servingBench(&r); err != nil {
+		return err
+	}
 
 	buf, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {
@@ -198,6 +225,7 @@ func benchJSON() error {
 		fmt.Printf("recovery %dw: %.2fx vs sequential\n", w.Workers, w.Speedup)
 	}
 	fmt.Printf("recovery output identical: %v\n", r.Recovery.Identical)
+	printServing(&r)
 	return nil
 }
 

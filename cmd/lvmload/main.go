@@ -1,0 +1,121 @@
+// Command lvmload is the open-loop load generator for lvmd: many
+// lightweight synchronous clients (one goroutine each) committing
+// word-write transactions against hashed tenant segments, reporting
+// commit-latency percentiles and an acked-state model.
+//
+// Load phase:
+//
+//	lvmload -addr 127.0.0.1:7420 -clients 1000 -segments 64 \
+//	        -duration 10s -model model.json -report report.json -strict
+//
+// Replay phase (after a daemon restart) — read every modeled word back
+// and verify the server holds exactly what it acknowledged:
+//
+//	lvmload -addr 127.0.0.1:7420 -replay model.json -strict
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lvm/internal/logship"
+	"lvm/internal/lvmd"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7420", "lvmd address")
+		clients  = flag.Int("clients", 100, "concurrent simulated clients")
+		segments = flag.Int("segments", 64, "tenant segments to spread over")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		rate     = flag.Float64("rate", 0, "target commits/sec fleet-wide (0 = closed loop)")
+		stores   = flag.Int("stores", 4, "word stores per commit")
+		verifyN  = flag.Int("verify-every", 16, "read-back check every N ops (0 = never)")
+		report   = flag.String("report", "", "write the JSON load report here")
+		modelOut = flag.String("model", "", "write the acked-state model here")
+		replay   = flag.String("replay", "", "verify a saved model instead of generating load")
+		strict   = flag.Bool("strict", false, "exit nonzero on any death, lost ack or mismatch")
+	)
+	flag.Parse()
+	dial := logship.TCPDialer(*addr)
+
+	if *replay != "" {
+		os.Exit(runReplay(dial, *replay, *strict))
+	}
+
+	res, model, err := lvmd.RunLoad(lvmd.LoadConfig{
+		Dial:            dial,
+		Clients:         *clients,
+		Segments:        *segments,
+		Duration:        *duration,
+		Rate:            *rate,
+		StoresPerCommit: *stores,
+		VerifyEvery:     *verifyN,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lvmload: %v\n", err)
+		os.Exit(1)
+	}
+	if cl, err := lvmd.DialClient(dial); err == nil {
+		if hs, err := cl.Stats(); err == nil {
+			res.Host = &hs
+		}
+		cl.Close()
+	}
+	fmt.Printf("lvmload: %d clients × %d segs: %d acked / %d sent in %.1fs (%.0f/s) "+
+		"p50=%.0fµs p95=%.0fµs p99=%.0fµs max=%.0fµs deaths=%d readErr=%d\n",
+		res.Clients, res.Segments, res.Acked, res.Sent, res.Seconds, res.CommitsPerS,
+		res.P50us, res.P95us, res.P99us, res.MaxUs, res.Deaths, res.ReadErrors)
+	if err := writeJSON(*report, res); err != nil {
+		fmt.Fprintf(os.Stderr, "lvmload: report: %v\n", err)
+		os.Exit(1)
+	}
+	if err := writeJSON(*modelOut, model); err != nil {
+		fmt.Fprintf(os.Stderr, "lvmload: model: %v\n", err)
+		os.Exit(1)
+	}
+	if *strict && (res.Deaths > 0 || res.Acked != res.Sent || res.ReadErrors > 0 || res.Acked == 0) {
+		fmt.Fprintln(os.Stderr, "lvmload: strict check failed")
+		os.Exit(1)
+	}
+}
+
+func runReplay(dial logship.DialFunc, path string, strict bool) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lvmload: %v\n", err)
+		return 1
+	}
+	var model lvmd.Model
+	if err := json.Unmarshal(b, &model); err != nil {
+		fmt.Fprintf(os.Stderr, "lvmload: model: %v\n", err)
+		return 1
+	}
+	checked, bad, err := lvmd.VerifyModel(dial, &model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lvmload: replay: %v\n", err)
+		return 1
+	}
+	for _, m := range bad {
+		fmt.Fprintf(os.Stderr, "lvmload: mismatch: %s\n", m)
+	}
+	fmt.Printf("lvmload: replay verified %d words, %d mismatches\n", checked, len(bad))
+	if strict && (len(bad) > 0 || checked == 0) {
+		return 1
+	}
+	return 0
+}
+
+func writeJSON(path string, v any) error {
+	if path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -156,6 +156,15 @@ func templates() []template {
 					return nil
 				}
 			}},
+		// The daemon's ack-fence window: transactions applied to an lvmd
+		// shard arena but not yet drained by the group-commit fence when
+		// the kill lands. Acked state must recover exactly; the gap to the
+		// recovered image must be an in-order prefix of the in-flight
+		// ledger (see classifyPrefix).
+		{name: "lvmd/kill-mid-commit", scenario: "lvmd", maxBatch: 12, needsDry: true,
+			plan: func(seed, dry uint64) fault.Plan {
+				return fault.Plan{CrashAtCycle: dry * (25 + seed*13%70) / 100}
+			}},
 		{name: "compact/clean", scenario: "compact", maxBatch: 24,
 			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{} }},
 		{name: "compact/crash-diskop", scenario: "compact", maxBatch: 24,
@@ -248,6 +257,8 @@ func runScenario(t template, plan fault.Plan, short bool) (outcome, uint64) {
 		return runLog(t, plan, short)
 	case "compact":
 		return runCompact(t, plan, short)
+	case "lvmd":
+		return runLvmd(t, plan, short)
 	}
 	return runTPCA(t, plan, short)
 }

@@ -1,0 +1,62 @@
+package logship
+
+import "net"
+
+// Client frame types: the lvmd serving protocol rides on the same CRC
+// framing (and the same Version) as replication, in a disjoint type
+// range. The payload layouts live in internal/lvmd; this package only
+// reserves the type space so a single connection can speak either
+// protocol — a subscriber opens with FrameSubscribe and is then handed
+// to the shard's Shipper, after which the replication frames above flow
+// unchanged.
+const (
+	// FrameOpen / FrameOpenResp map a segment ID to a shard slot.
+	FrameOpen     = byte(16)
+	FrameOpenResp = byte(17)
+	// FrameStore buffers one word write into the session's open
+	// transaction; FrameCommit applies the buffered writes behind the
+	// marker protocol and FrameCommitResp acknowledges durability.
+	FrameStore      = byte(18)
+	FrameCommit     = byte(19)
+	FrameCommitResp = byte(20)
+	// FrameRead / FrameReadResp read committed segment bytes.
+	FrameRead     = byte(21)
+	FrameReadResp = byte(22)
+	// FrameSubscribe upgrades the connection to a replication consumer of
+	// one shard's arena (the logship protocol proper takes over).
+	FrameSubscribe = byte(23)
+	// FrameStats / FrameStatsResp fetch a merged metrics snapshot (JSON).
+	FrameStats     = byte(24)
+	FrameStatsResp = byte(25)
+)
+
+// EncodeFrame wraps payload in the framed, CRC-protected wire format.
+// Exported for the serving protocol (internal/lvmd), which shares the
+// framing with replication.
+func EncodeFrame(typ byte, payload []byte) []byte { return encodeFrame(typ, payload) }
+
+// ReadFrame reads one frame, validating magic, version, length bound and
+// CRC. Exported counterpart of EncodeFrame for the serving protocol.
+func ReadFrame(r interface{ Read([]byte) (int, error) }) (typ byte, payload []byte, err error) {
+	return readFrame(r)
+}
+
+// Adopt hands the shipper a connection that was accepted elsewhere (the
+// lvmd daemon accepts every client on one listener and routes
+// FrameSubscribe connections here). The connection runs the normal
+// hello/welcome handshake and joins the broadcast set exactly as if it
+// had arrived on the shipper's own listener. Safe from any goroutine;
+// a shipper that is already closed just closes the connection.
+func (s *Shipper) Adopt(c net.Conn) {
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+		s.mu.Unlock()
+		c.Close()
+		return
+	default:
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.handshake(c)
+}

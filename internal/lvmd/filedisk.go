@@ -1,0 +1,64 @@
+package lvmd
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"lvm/internal/machine"
+)
+
+// FileDisk adapts one host file to the ramdisk.Device interface, giving
+// each shard's compact.Manager a checkpoint area that survives the
+// process. Reads past the current end of file return zeros, matching the
+// RAM disk's fresh-block semantics (compact.loadState probes both header
+// slots on a disk that may never have been written). Simulated cycle
+// costs are not charged: the device lives on the host side of the
+// daemon, and the serving shards' simulated clocks carry no calibrated
+// meaning.
+type FileDisk struct {
+	f *os.File
+}
+
+// OpenFileDisk opens (creating if needed) the backing file.
+func OpenFileDisk(path string) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lvmd: open checkpoint file: %w", err)
+	}
+	return &FileDisk{f: f}, nil
+}
+
+// TryReadAt implements ramdisk.Device.
+func (d *FileDisk) TryReadAt(cpu *machine.CPU, off uint64, out []byte) error {
+	n, err := d.f.ReadAt(out, int64(off))
+	if err == io.EOF {
+		for i := n; i < len(out); i++ {
+			out[i] = 0
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lvmd: checkpoint read at %d: %w", off, err)
+	}
+	return nil
+}
+
+// TryWriteAt implements ramdisk.Device.
+func (d *FileDisk) TryWriteAt(cpu *machine.CPU, off uint64, b []byte) error {
+	if _, err := d.f.WriteAt(b, int64(off)); err != nil {
+		return fmt.Errorf("lvmd: checkpoint write at %d: %w", off, err)
+	}
+	return nil
+}
+
+// TrySync implements ramdisk.Device.
+func (d *FileDisk) TrySync(cpu *machine.CPU) error {
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("lvmd: checkpoint sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the backing file.
+func (d *FileDisk) Close() error { return d.f.Close() }

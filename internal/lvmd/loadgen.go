@@ -1,0 +1,417 @@
+package lvmd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lvm/internal/logship"
+)
+
+// Client is one synchronous lvmd protocol client: one in-flight request
+// at a time (the load generator gets concurrency from many clients, as
+// the paper's Section 4 workloads get it from many processes).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	seq  uint64
+}
+
+// DialClient connects and returns a protocol client.
+func DialClient(dial logship.DialFunc) (*Client, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(typ byte, payload []byte, wantTyp byte) ([]byte, error) {
+	if _, err := c.conn.Write(logship.EncodeFrame(typ, payload)); err != nil {
+		return nil, err
+	}
+	gotTyp, resp, err := logship.ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if gotTyp != wantTyp {
+		return nil, fmt.Errorf("lvmd: got frame %d, want %d", gotTyp, wantTyp)
+	}
+	return resp, nil
+}
+
+// Open maps a segment, returning its slot geometry.
+func (c *Client) Open(segID uint64) (slotSize uint32, err error) {
+	p, err := c.call(logship.FrameOpen, encodeOpen(segID), logship.FrameOpenResp)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := decodeOpenResp(p)
+	if err != nil {
+		return 0, err
+	}
+	if resp.status != StatusOK {
+		return 0, fmt.Errorf("lvmd: open segment %d: status %d", segID, resp.status)
+	}
+	return resp.slotSize, nil
+}
+
+// Commit sends the transaction's stores and its commit, and waits for
+// the durable acknowledgement.
+func (c *Client) Commit(segID uint64, writes []Write) error {
+	var buf []byte
+	for _, w := range writes {
+		buf = append(buf, logship.EncodeFrame(logship.FrameStore,
+			encodeStore(storeReq{segID: segID, off: w.Off, val: w.Val}))...)
+	}
+	c.seq++
+	buf = append(buf, logship.EncodeFrame(logship.FrameCommit,
+		encodeCommit(commitReq{segID: segID, clientSeq: c.seq}))...)
+	if _, err := c.conn.Write(buf); err != nil {
+		return err
+	}
+	typ, p, err := logship.ReadFrame(c.r)
+	if err != nil {
+		return err
+	}
+	if typ != logship.FrameCommitResp {
+		return fmt.Errorf("lvmd: got frame %d, want commit response", typ)
+	}
+	resp, err := decodeCommitResp(p)
+	if err != nil {
+		return err
+	}
+	if resp.status != StatusOK {
+		return fmt.Errorf("lvmd: commit segment %d: status %d", segID, resp.status)
+	}
+	if resp.clientSeq != c.seq {
+		return fmt.Errorf("lvmd: commit ack for seq %d, want %d", resp.clientSeq, c.seq)
+	}
+	return nil
+}
+
+// Read returns committed segment bytes.
+func (c *Client) Read(segID uint64, off, n uint32) ([]byte, error) {
+	p, err := c.call(logship.FrameRead, encodeRead(readReq{segID: segID, off: off, n: n}),
+		logship.FrameReadResp)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeReadResp(p)
+	if err != nil {
+		return nil, err
+	}
+	if resp.status != StatusOK {
+		return nil, fmt.Errorf("lvmd: read segment %d: status %d", segID, resp.status)
+	}
+	return resp.data, nil
+}
+
+// Stats fetches the daemon's host counters.
+func (c *Client) Stats() (HostStats, error) {
+	var hs HostStats
+	p, err := c.call(logship.FrameStats, nil, logship.FrameStatsResp)
+	if err != nil {
+		return hs, err
+	}
+	err = json.Unmarshal(p, &hs)
+	return hs, err
+}
+
+// LoadConfig drives a fleet of simulated clients.
+type LoadConfig struct {
+	Dial     logship.DialFunc
+	Clients  int
+	Segments int
+	Duration time.Duration
+	// Rate is the fleet-wide target commits/sec (0 = closed loop: every
+	// client commits back-to-back).
+	Rate float64
+	// StoresPerCommit is the transaction size (default 4); VerifyEvery
+	// makes every Nth operation a read-back check (0 = never).
+	StoresPerCommit int
+	VerifyEvery     int
+}
+
+// ModelEntry is the acked-state model for one word: the last
+// acknowledged value and any values sent later whose acks never arrived
+// (in-doubt after a kill — the server may or may not have applied them).
+type ModelEntry struct {
+	Seg     uint64   `json:"seg"`
+	Off     uint32   `json:"off"`
+	Acked   uint32   `json:"acked"`
+	HasAck  bool     `json:"has_ack"`
+	InDoubt []uint32 `json:"in_doubt,omitempty"`
+}
+
+// Model is the client fleet's view of what the server must hold.
+type Model struct {
+	Entries []ModelEntry `json:"entries"`
+}
+
+// LoadResult is one load run's outcome.
+type LoadResult struct {
+	Clients     int     `json:"clients"`
+	Segments    int     `json:"segments"`
+	Seconds     float64 `json:"seconds"`
+	Sent        uint64  `json:"sent"`
+	Acked       uint64  `json:"acked"`
+	Failed      uint64  `json:"failed"` // commits refused or errored (not conn death)
+	Deaths      uint64  `json:"deaths"` // clients whose connection died
+	Reads       uint64  `json:"reads"`
+	ReadErrors  uint64  `json:"read_errors"`
+	CommitsPerS float64 `json:"commits_per_sec"`
+	P50us       float64 `json:"p50_us"`
+	P95us       float64 `json:"p95_us"`
+	P99us       float64 `json:"p99_us"`
+	MaxUs       float64 `json:"max_us"`
+	Hist        []uint64
+	Host        *HostStats `json:"host,omitempty"`
+}
+
+// latHist is a lock-free power-of-two latency histogram (bucket i holds
+// samples with bits.Len64(ns) == i).
+type latHist [65]atomic.Uint64
+
+func (h *latHist) observe(d time.Duration) {
+	h[bits.Len64(uint64(d.Nanoseconds()))].Add(1)
+}
+
+func (h *latHist) percentile(p float64) float64 {
+	var total uint64
+	for i := range h {
+		total += h[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(p * float64(total))
+	var seen uint64
+	for i := range h {
+		seen += h[i].Load()
+		if seen > want {
+			return float64(uint64(1)<<i) / 1e3 // bucket upper bound, µs
+		}
+	}
+	return 0
+}
+
+// RunLoad drives the fleet and returns the result plus the acked-state
+// model. Client i owns a fixed set of words in segment (i mod Segments):
+// word indexes congruent to its per-segment rank, so every word has
+// exactly one writer and the model is exact.
+func RunLoad(cfg LoadConfig) (LoadResult, *Model, error) {
+	if cfg.Clients <= 0 || cfg.Segments <= 0 {
+		return LoadResult{}, nil, fmt.Errorf("lvmd: load needs clients and segments")
+	}
+	if cfg.StoresPerCommit <= 0 {
+		cfg.StoresPerCommit = 4
+	}
+	clientsPerSeg := (cfg.Clients + cfg.Segments - 1) / cfg.Segments
+	// Probe the slot geometry first: the word-ownership scheme only stays
+	// single-writer while every client's words fit without wrapping.
+	probe, err := DialClient(cfg.Dial)
+	if err != nil {
+		return LoadResult{}, nil, fmt.Errorf("lvmd: load probe: %w", err)
+	}
+	slotSize, err := probe.Open(1)
+	probe.Close()
+	if err != nil {
+		return LoadResult{}, nil, fmt.Errorf("lvmd: load probe: %w", err)
+	}
+	if need := uint32(clientsPerSeg * cfg.StoresPerCommit * 4); need > slotSize {
+		return LoadResult{}, nil, fmt.Errorf(
+			"lvmd: %d clients × %d stores need %d-byte slots, server offers %d",
+			cfg.Clients, cfg.StoresPerCommit, need, slotSize)
+	}
+	var (
+		sent, acked, failed, deaths, reads, readErrs atomic.Uint64
+		hist                                         latHist
+		wg                                           sync.WaitGroup
+		modelMu                                      sync.Mutex
+	)
+	model := make(map[uint64]map[uint32]*ModelEntry) // seg → off → entry
+	deadline := time.Now().Add(cfg.Duration)
+	var pace time.Duration
+	if cfg.Rate > 0 {
+		pace = time.Duration(float64(cfg.Clients) / cfg.Rate * float64(time.Second))
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			segID := uint64(i%cfg.Segments) + 1
+			rank := uint32(i / cfg.Segments)
+			cl, err := DialClient(cfg.Dial)
+			if err != nil {
+				deaths.Add(1)
+				return
+			}
+			defer cl.Close()
+			slotSize, err := cl.Open(segID)
+			if err != nil {
+				deaths.Add(1)
+				return
+			}
+			words := slotSize / 4
+			local := make(map[uint32]*ModelEntry)
+			defer func() {
+				modelMu.Lock()
+				seg := model[segID]
+				if seg == nil {
+					seg = make(map[uint32]*ModelEntry)
+					model[segID] = seg
+				}
+				for off, e := range local {
+					seg[off] = e
+				}
+				modelMu.Unlock()
+			}()
+			writes := make([]Write, cfg.StoresPerCommit)
+			for n := uint32(0); time.Now().Before(deadline); n++ {
+				if pace > 0 {
+					next := start.Add(time.Duration(i)*pace/time.Duration(cfg.Clients) +
+						time.Duration(n)*pace)
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				if cfg.VerifyEvery > 0 && n > 0 && n%uint32(cfg.VerifyEvery) == 0 {
+					off := writes[0].Off
+					want := local[off]
+					b, err := cl.Read(segID, off, 4)
+					reads.Add(1)
+					if err != nil {
+						deaths.Add(1)
+						return
+					}
+					if want != nil && want.HasAck && !modelAccepts(want, get32(b)) {
+						readErrs.Add(1)
+					}
+					continue
+				}
+				for k := range writes {
+					word := (rank + uint32(k)*uint32(clientsPerSeg)) % words
+					writes[k] = Write{Off: word * 4, Val: uint32(i)<<16 | (n & 0xFFFF)}
+				}
+				for _, w := range writes {
+					e := local[w.Off]
+					if e == nil {
+						e = &ModelEntry{Seg: segID, Off: w.Off}
+						local[w.Off] = e
+					}
+					e.InDoubt = append(e.InDoubt, w.Val)
+				}
+				sent.Add(1)
+				t0 := time.Now()
+				if err := cl.Commit(segID, writes); err != nil {
+					deaths.Add(1)
+					return
+				}
+				hist.observe(time.Since(t0))
+				acked.Add(1)
+				for _, w := range writes {
+					e := local[w.Off]
+					e.Acked, e.HasAck, e.InDoubt = w.Val, true, e.InDoubt[:0]
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	res := LoadResult{
+		Clients:  cfg.Clients,
+		Segments: cfg.Segments,
+		Seconds:  elapsed,
+		Sent:     sent.Load(), Acked: acked.Load(), Failed: failed.Load(),
+		Deaths: deaths.Load(), Reads: reads.Load(), ReadErrors: readErrs.Load(),
+		P50us: hist.percentile(0.50), P95us: hist.percentile(0.95),
+		P99us: hist.percentile(0.99),
+	}
+	if elapsed > 0 {
+		res.CommitsPerS = float64(res.Acked) / elapsed
+	}
+	for i := len(hist) - 1; i >= 0; i-- {
+		if hist[i].Load() > 0 {
+			res.MaxUs = float64(uint64(1)<<i) / 1e3
+			break
+		}
+	}
+	res.Hist = make([]uint64, len(hist))
+	for i := range hist {
+		res.Hist[i] = hist[i].Load()
+	}
+	m := &Model{}
+	for _, seg := range model {
+		for _, e := range seg {
+			if e.HasAck || len(e.InDoubt) > 0 {
+				m.Entries = append(m.Entries, *e)
+			}
+		}
+	}
+	sort.Slice(m.Entries, func(a, b int) bool {
+		if m.Entries[a].Seg != m.Entries[b].Seg {
+			return m.Entries[a].Seg < m.Entries[b].Seg
+		}
+		return m.Entries[a].Off < m.Entries[b].Off
+	})
+	return res, m, nil
+}
+
+// modelAccepts reports whether a read-back value is consistent with the
+// model: the last acked value, or any in-doubt value sent after it.
+func modelAccepts(e *ModelEntry, got uint32) bool {
+	if e.HasAck && got == e.Acked {
+		return true
+	}
+	if !e.HasAck && got == 0 {
+		return true // never acked, never applied
+	}
+	for _, v := range e.InDoubt {
+		if got == v {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyModel reads every modeled word back and checks it. Words whose
+// writers died mid-commit accept their in-doubt values. Returns how many
+// words were checked and the mismatches.
+func VerifyModel(dial logship.DialFunc, m *Model) (checked int, mismatches []string, err error) {
+	cl, err := DialClient(dial)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer cl.Close()
+	opened := make(map[uint64]bool)
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		if !opened[e.Seg] {
+			if _, err := cl.Open(e.Seg); err != nil {
+				return checked, mismatches, fmt.Errorf("open segment %d: %w", e.Seg, err)
+			}
+			opened[e.Seg] = true
+		}
+		b, err := cl.Read(e.Seg, e.Off, 4)
+		if err != nil {
+			return checked, mismatches, fmt.Errorf("read %d/%d: %w", e.Seg, e.Off, err)
+		}
+		checked++
+		if got := get32(b); !modelAccepts(e, got) {
+			mismatches = append(mismatches, fmt.Sprintf(
+				"seg %d off %d: got %#x, want acked %#x (in-doubt %v)",
+				e.Seg, e.Off, got, e.Acked, e.InDoubt))
+		}
+	}
+	return checked, mismatches, nil
+}

@@ -1,0 +1,321 @@
+package lvmd
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"lvm/internal/logship"
+	"lvm/internal/metrics"
+)
+
+// opKind discriminates shard queue entries.
+type opKind byte
+
+const (
+	opOpen opKind = iota
+	opCommit
+	opRead
+)
+
+// shardOp is one client request routed to a shard's single-writer
+// goroutine. reply delivers the response frame; it must not block
+// indefinitely (sessions enqueue with their own backpressure policy).
+type shardOp struct {
+	kind      opKind
+	segID     uint64
+	writes    []Write
+	clientSeq uint64
+	off, n    uint32
+	t0        time.Time
+	reply     func(typ byte, payload []byte)
+}
+
+// ShardConfig tunes one serving shard.
+type ShardConfig struct {
+	Core CoreConfig
+	// QueueDepth bounds the op queue (default 1024); MaxBatch bounds how
+	// many ops one durability fence covers (default 256).
+	QueueDepth int
+	MaxBatch   int
+	// Ship tunes the shard's replication shipper.
+	Ship logship.Config
+}
+
+func (c *ShardConfig) fill() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+}
+
+// Shard is one serving shard: a ShardCore owned by the run goroutine,
+// fed through a bounded op queue, with a replication shipper whose
+// subscriber connections arrive via Adopt (the shard's own listener is a
+// never-dialed placeholder — the daemon multiplexes subscribers over the
+// client port).
+type Shard struct {
+	ID      int
+	Core    *ShardCore
+	Shipper *logship.Shipper
+
+	cfg    ShardConfig
+	ops    chan shardOp
+	done   chan struct{}
+	shipLn net.Listener
+	err    error // set by the run goroutine on a durability failure
+	digest [32]byte
+}
+
+// NewShard boots a shard around an optionally-recovered core (img/seq
+// from RecoverImage, nil/0 for a fresh shard) and starts its goroutine.
+func NewShard(id int, cfg ShardConfig, img []byte, seq uint32) (*Shard, error) {
+	cfg.fill()
+	c, err := NewCore(cfg.Core, img, seq)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shard{
+		ID:   id,
+		Core: c,
+		cfg:  cfg,
+		ops:  make(chan shardOp, cfg.QueueDepth),
+		done: make(chan struct{}),
+	}
+	ln, _ := logship.NewMemTransport()
+	s.shipLn = ln
+	s.Shipper = logship.NewShipper(c.Sys, c.Arena, c.LogSeg, ln, cfg.Ship)
+	c.SetShipper(s.Shipper)
+	c.EnableTuning()
+	go s.run()
+	return s, nil
+}
+
+// submit enqueues an op, waiting up to stall for queue space. False
+// means the queue stayed full (or the shard is gone) — the session
+// applies its backpressure policy (PolicyStall kills the connection
+// after the stall; PolicyDrop passes stall=0 and kills immediately).
+func (s *Shard) submit(op shardOp, stall time.Duration) bool {
+	if stall <= 0 {
+		select {
+		case s.ops <- op:
+			return true
+		case <-s.done:
+			return false
+		default:
+			return false
+		}
+	}
+	t := time.NewTimer(stall)
+	defer t.Stop()
+	select {
+	case s.ops <- op:
+		return true
+	case <-s.done:
+		return false
+	case <-t.C:
+		return false
+	}
+}
+
+// run is the shard's single-writer loop: collect a batch of ops, apply
+// them to the simulation, fence durability once for the whole batch,
+// then acknowledge. Group commit across clients falls out of batching —
+// one tail fsync covers every commit in the batch.
+func (s *Shard) run() {
+	defer close(s.done)
+	for {
+		op, ok := <-s.ops
+		if !ok {
+			s.drainExit()
+			return
+		}
+		batch := append(make([]shardOp, 0, s.cfg.MaxBatch), op)
+		closed := false
+	fill:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case op, ok := <-s.ops:
+				if !ok {
+					closed = true
+					break fill
+				}
+				batch = append(batch, op)
+			default:
+				break fill
+			}
+		}
+		s.process(batch)
+		if closed {
+			s.drainExit()
+			return
+		}
+	}
+}
+
+// staged is a response held back until the batch's durability fence.
+type staged struct {
+	typ     byte
+	payload []byte
+	t0      time.Time
+	commit  bool
+	reply   func(byte, []byte)
+}
+
+func (s *Shard) process(batch []shardOp) {
+	c := s.Core
+	// out[i] answers batch[i]; reads are filled in after the fence.
+	out := make([]staged, 0, len(batch))
+	mutated := false
+	for _, op := range batch {
+		if s.err != nil {
+			out = append(out, s.refuse(op, StatusDraining))
+			continue
+		}
+		switch op.kind {
+		case opOpen:
+			slot, _, err := c.Open(op.segID)
+			resp := openResp{
+				segID:     op.segID,
+				slotSize:  c.SlotSize(),
+				arenaSize: c.Arena.Size(),
+				shard:     byte(s.ID),
+			}
+			switch {
+			case err == ErrNoSlot:
+				resp.status = StatusNoSlot
+			case err != nil:
+				resp.status = StatusBad
+			default:
+				resp.slotOff = c.SlotOff(slot)
+				mutated = true
+			}
+			out = append(out, staged{typ: logship.FrameOpenResp, payload: encodeOpenResp(resp),
+				t0: op.t0, reply: op.reply})
+		case opCommit:
+			seq, err := c.Commit(op.segID, op.writes)
+			resp := commitResp{segID: op.segID, clientSeq: op.clientSeq, shardSeq: seq}
+			if err != nil {
+				if _, known := c.Lookup(op.segID); !known {
+					resp.status = StatusUnknown
+				} else {
+					resp.status = StatusBad
+				}
+			} else {
+				mutated = true
+			}
+			out = append(out, staged{typ: logship.FrameCommitResp, payload: encodeCommitResp(resp),
+				t0: op.t0, commit: resp.status == StatusOK, reply: op.reply})
+		case opRead:
+			out = append(out, staged{t0: op.t0, reply: op.reply})
+		}
+	}
+	if mutated && s.err == nil {
+		// The fence: nothing above is acknowledged until this returns.
+		if err := c.SyncBatch(); err != nil {
+			s.fail(err)
+			return
+		}
+		// Shipping trouble does not gate client durability — the tail
+		// fsync above already happened; consumers redial and resync.
+		_ = s.Shipper.FlushAll() //errgate:ok — replication is advisory for client acks
+	}
+	// Reads run after the fence: a client that commits then reads (even
+	// on another connection) sees its acked writes.
+	for bi, op := range batch {
+		if op.kind != opRead || out[bi].typ != 0 {
+			continue
+		}
+		data, err := c.Read(op.segID, op.off, op.n)
+		resp := readResp{segID: op.segID, off: op.off, data: data}
+		if err != nil {
+			if _, known := c.Lookup(op.segID); !known {
+				resp.status = StatusUnknown
+			} else {
+				resp.status = StatusBad
+			}
+			resp.data = nil
+		}
+		out[bi] = staged{typ: logship.FrameReadResp,
+			payload: encodeReadResp(resp), t0: op.t0, reply: op.reply}
+	}
+	for _, r := range out {
+		if r.reply == nil {
+			continue
+		}
+		if r.commit {
+			c.sh.Observe(metrics.HistLvmdCommitAck, uint64(time.Since(r.t0).Nanoseconds()))
+		}
+		r.reply(r.typ, r.payload)
+	}
+	// A refused compaction costs log headroom, not correctness; the next
+	// batch retries. A full log that then loses records fails SyncBatch.
+	_, _ = c.MaybeCompact() //errgate:ok — deferred to the SyncBatch loss check
+}
+
+// refuse stages an error response matching the op's expected frame type.
+func (s *Shard) refuse(op shardOp, status byte) staged {
+	switch op.kind {
+	case opOpen:
+		return staged{typ: logship.FrameOpenResp, t0: op.t0, reply: op.reply,
+			payload: encodeOpenResp(openResp{segID: op.segID, status: status, shard: byte(s.ID)})}
+	case opCommit:
+		return staged{typ: logship.FrameCommitResp, t0: op.t0, reply: op.reply,
+			payload: encodeCommitResp(commitResp{segID: op.segID, clientSeq: op.clientSeq, status: status})}
+	default:
+		return staged{typ: logship.FrameReadResp, t0: op.t0, reply: op.reply,
+			payload: encodeReadResp(readResp{segID: op.segID, off: op.off, status: status})}
+	}
+}
+
+// fail marks the shard broken: the durability fence failed, so none of
+// the batch's staged acknowledgements may be sent — an ack after a
+// failed fence would be a durability lie. The batch's clients see their
+// requests die unanswered (their connections are torn down when the
+// server notices the failure), which reads as an in-doubt outcome — the
+// honest one.
+func (s *Shard) fail(err error) {
+	s.err = fmt.Errorf("lvmd: shard %d failed: %w", s.ID, err)
+}
+
+// drainExit runs after the op channel closes: fence whatever is left,
+// stop the shipper, and commit a final checkpoint so a clean restart
+// recovers from the image alone.
+func (s *Shard) drainExit() {
+	c := s.Core
+	if s.err == nil {
+		if err := c.SyncBatch(); err != nil {
+			s.err = err
+		}
+	}
+	// Hand the last records to any live subscribers before disconnecting
+	// them — best effort with a bounded wait; a consumer that misses it
+	// resyncs from its acked sequence on reconnect.
+	_ = s.Shipper.ReleaseShip(2 * time.Second) //errgate:ok — replication handover is advisory at drain
+	s.Shipper.Close()
+	if s.err == nil {
+		if err := c.Checkpoint(); err != nil {
+			s.err = err
+		}
+	}
+	s.digest = c.Digest()
+}
+
+// Close drains the shard: no further submits may race this.
+func (s *Shard) Close() {
+	close(s.ops)
+	<-s.done
+	s.shipLn.Close()
+}
+
+// Err reports a shard durability failure (nil while healthy). Safe only
+// after done (Close) or from the run goroutine.
+func (s *Shard) Err() error { return s.err }
+
+// Digest is the shard's final state hash, valid after Close.
+func (s *Shard) Digest() [32]byte { return s.digest }
+
+// Adopt hands a subscriber connection to the shard's shipper.
+func (s *Shard) Adopt(conn net.Conn) { s.Shipper.Adopt(conn) }

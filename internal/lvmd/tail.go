@@ -1,0 +1,199 @@
+package lvmd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lvm/internal/logrec"
+)
+
+// tailMagic is the tail-file preamble, "LVTL" little-endian.
+const tailMagic = uint32(0x4C54564C)
+
+const (
+	tailVersion = 1
+	tailHdrSize = 16
+)
+
+// TailFile durably mirrors one shard's physical log: the byte at file
+// offset tailHdrSize+k is the byte at physical log offset k, with record
+// address fields rewritten to segment offsets (physical addresses cannot
+// be resolved by a fresh boot). The header records cutBase — the logical
+// log offset of physical byte 0 — which matches the cutBase the shard's
+// checkpoint headers store, so a restart can re-issue the mirrored tail
+// through a fresh machine and hand compact.Recover a log whose offsets
+// line up with the checkpoint watermark.
+//
+// Compaction cuts rewrite the file through a temp-file rename, so a
+// crash leaves either the pre-cut or post-cut mirror, never a torn one.
+// A crash mid-append can leave a partial final record; Load truncates to
+// a record boundary — the partial record was never acked (the fsync that
+// would have acked it did not complete).
+type TailFile struct {
+	path    string
+	f       *os.File
+	cutBase uint64
+	size    uint64 // record bytes currently in the file (excl. header)
+	buf     []byte // appended but not yet flushed
+}
+
+// OpenTail opens (creating if needed) the tail file and reads its
+// header. A fresh or header-less file starts at cutBase 0.
+func OpenTail(path string) (*TailFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lvmd: open tail file: %w", err)
+	}
+	t := &TailFile{path: path, f: f}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lvmd: stat tail file: %w", err)
+	}
+	if st.Size() < tailHdrSize {
+		if err := t.writeHeader(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return t, nil
+	}
+	var hdr [tailHdrSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lvmd: tail header read: %w", err)
+	}
+	if get32(hdr[:]) != tailMagic || get32(hdr[4:]) != tailVersion {
+		f.Close()
+		return nil, fmt.Errorf("lvmd: tail file %s: bad header", path)
+	}
+	t.cutBase = get64(hdr[8:])
+	body := uint64(st.Size()) - tailHdrSize
+	t.size = body - body%logrec.Size // ignore a torn final record
+	return t, nil
+}
+
+func (t *TailFile) writeHeader(cutBase uint64) error {
+	var hdr [tailHdrSize]byte
+	put32(hdr[:], tailMagic)
+	put32(hdr[4:], tailVersion)
+	put64(hdr[8:], cutBase)
+	if _, err := t.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("lvmd: tail header write: %w", err)
+	}
+	t.cutBase = cutBase
+	return nil
+}
+
+// CutBase reports the logical log offset of the first mirrored byte.
+func (t *TailFile) CutBase() uint64 { return t.cutBase }
+
+// Size reports the mirrored record bytes (buffered appends included).
+func (t *TailFile) Size() uint64 { return t.size + uint64(len(t.buf)) }
+
+// Append buffers record bytes; Flush makes them durable.
+func (t *TailFile) Append(records []byte) {
+	t.buf = append(t.buf, records...)
+}
+
+// Flush writes the buffered bytes and fsyncs. This is the durability
+// point a commit acknowledgement waits behind.
+func (t *TailFile) Flush() error {
+	if len(t.buf) > 0 {
+		if _, err := t.f.WriteAt(t.buf, int64(tailHdrSize+t.size)); err != nil {
+			return fmt.Errorf("lvmd: tail append: %w", err)
+		}
+		t.size += uint64(len(t.buf))
+		t.buf = t.buf[:0]
+	}
+	if err := t.f.Sync(); err != nil {
+		return fmt.Errorf("lvmd: tail fsync: %w", err)
+	}
+	return nil
+}
+
+// Cut drops the first cutBytes mirrored bytes (a compaction truncated
+// the physical log) and advances cutBase accordingly, atomically via a
+// temp-file rename. The caller must have Flushed first: compaction only
+// runs at batch boundaries, after the mirror caught up with the log.
+func (t *TailFile) Cut(cutBytes uint64) error {
+	if len(t.buf) != 0 {
+		return fmt.Errorf("lvmd: tail cut with %d unflushed bytes", len(t.buf))
+	}
+	if cutBytes > t.size {
+		return fmt.Errorf("lvmd: tail cut %d of %d bytes", cutBytes, t.size)
+	}
+	keep := t.size - cutBytes
+	body := make([]byte, keep)
+	if keep > 0 {
+		if _, err := t.f.ReadAt(body, int64(tailHdrSize+cutBytes)); err != nil {
+			return fmt.Errorf("lvmd: tail cut read: %w", err)
+		}
+	}
+	return t.rewrite(t.cutBase+cutBytes, body)
+}
+
+// Reset empties the mirror and moves cutBase (restart recovery: the
+// whole reconstructed log was truncated and re-checkpointed).
+func (t *TailFile) Reset(cutBase uint64) error {
+	t.buf = t.buf[:0]
+	return t.rewrite(cutBase, nil)
+}
+
+// rewrite replaces the file with header(cutBase)+body via temp+rename.
+func (t *TailFile) rewrite(cutBase uint64, body []byte) error {
+	tmpPath := t.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("lvmd: tail rewrite: %w", err)
+	}
+	var hdr [tailHdrSize]byte
+	put32(hdr[:], tailMagic)
+	put32(hdr[4:], tailVersion)
+	put64(hdr[8:], cutBase)
+	if _, err := tmp.WriteAt(hdr[:], 0); err == nil && len(body) > 0 {
+		_, err = tmp.WriteAt(body, tailHdrSize)
+	} else if err != nil {
+		tmp.Close()
+		return fmt.Errorf("lvmd: tail rewrite: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("lvmd: tail rewrite sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("lvmd: tail rewrite close: %w", err)
+	}
+	if err := os.Rename(tmpPath, t.path); err != nil {
+		return fmt.Errorf("lvmd: tail rewrite rename: %w", err)
+	}
+	old := t.f
+	f, err := os.OpenFile(t.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("lvmd: tail reopen: %w", err)
+	}
+	old.Close()
+	t.f = f
+	t.cutBase = cutBase
+	t.size = uint64(len(body))
+	// Make the rename durable (directory entry).
+	if dir, err := os.Open(filepath.Dir(t.path)); err == nil {
+		_ = dir.Sync() //errgate:ok — best-effort directory fsync; data durability is the file's own fsync
+		dir.Close()
+	}
+	return nil
+}
+
+// Load reads the mirrored record bytes.
+func (t *TailFile) Load() ([]byte, error) {
+	body := make([]byte, t.size)
+	if t.size > 0 {
+		if _, err := t.f.ReadAt(body, tailHdrSize); err != nil {
+			return nil, fmt.Errorf("lvmd: tail load: %w", err)
+		}
+	}
+	return body, nil
+}
+
+// Close closes the backing file.
+func (t *TailFile) Close() error { return t.f.Close() }

@@ -92,6 +92,16 @@ const (
 	CompactTruncateFailures // truncations that failed and were surfaced
 	RecoverySkippedBytes    // log bytes checkpoint-aware replay skipped
 
+	// Multi-tenant logged-memory serving (internal/lvmd): per-shard
+	// counters the daemon merges across shard systems into one snapshot.
+	LvmdOpens      // segment-open transactions applied
+	LvmdCommits    // client commit transactions applied
+	LvmdStores     // data-word stores applied inside commits
+	LvmdBatches    // group-commit batches (one durability fence each)
+	LvmdReads      // consistent read operations served
+	LvmdTailBytes  // log bytes mirrored to the durable tail file
+	LvmdRecoveries // shard recoveries (restart = compact.Recover per shard)
+
 	// NumIDs is the counter-array length; keep it last.
 	NumIDs
 )
@@ -154,6 +164,14 @@ var counterMeta = [NumIDs]struct {
 	CompactBytesTruncated:   {"compact.bytes_truncated", KindSum},
 	CompactTruncateFailures: {"compact.truncate_failures", KindSum},
 	RecoverySkippedBytes:    {"recovery.replay_skipped_bytes", KindSum},
+
+	LvmdOpens:      {"lvmd.opens", KindSum},
+	LvmdCommits:    {"lvmd.commits", KindSum},
+	LvmdStores:     {"lvmd.stores", KindSum},
+	LvmdBatches:    {"lvmd.batches", KindSum},
+	LvmdReads:      {"lvmd.reads", KindSum},
+	LvmdTailBytes:  {"lvmd.tail_bytes", KindSum},
+	LvmdRecoveries: {"lvmd.recoveries", KindSum},
 }
 
 // Name returns a counter's snapshot name.
@@ -177,6 +195,11 @@ const (
 	// oldest batched record's snoop and the batch's DMA completion — the
 	// durability latency the group-commit deadline bounds.
 	HistCommitLatency
+	// HistLvmdCommitAck observes, per client commit served by the lvmd
+	// daemon, the host nanoseconds from shard-queue entry to durable
+	// acknowledgement (sync + tail fsync). Host-side only: the simulated
+	// workloads never observe it, so determinism is untouched.
+	HistLvmdCommitAck
 
 	// NumHistIDs is the histogram-array length; keep it last.
 	NumHistIDs
@@ -187,6 +210,7 @@ var histName = [NumHistIDs]string{
 	HistStallCycles:   "machine.stall_event_cycles",
 	HistBatchSize:     "hwlogger.batch_size",
 	HistCommitLatency: "hwlogger.commit_latency_cycles",
+	HistLvmdCommitAck: "lvmd.commit_ack_ns",
 }
 
 // Name returns a histogram's snapshot name.

@@ -7,6 +7,10 @@
 #
 # Usage: scripts/benchgate.sh [tolerance]
 #
+# When BENCHGATE_OUT is set, the regenerated candidate BENCH_lvm.json is
+# copied there before the gate runs, so CI can upload it as an artifact
+# even (especially) when the gate fails.
+#
 # Shared CI runners are noisy; the tolerance is relative to the committed
 # baseline, so re-commit BENCH_lvm.json (lvmbench bench-json) whenever the
 # hot path legitimately changes speed.
@@ -30,6 +34,10 @@ unset GOMAXPROCS
 go build -o "$candidate/lvmbench" ./cmd/lvmbench
 go build -o "$candidate/benchgate" ./cmd/benchgate
 (cd "$candidate" && ./lvmbench -events 100 -parallel 0 bench-json)
+
+if [ -n "${BENCHGATE_OUT:-}" ]; then
+    cp "$candidate/BENCH_lvm.json" "$BENCHGATE_OUT"
+fi
 
 "$candidate/benchgate" -tolerance "$tolerance" \
     "$repo_root/BENCH_lvm.json" "$candidate/BENCH_lvm.json"

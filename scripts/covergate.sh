@@ -1,8 +1,11 @@
 #!/bin/sh
 # Coverage gate: run the full suite with a coverage profile (uploaded as
-# a CI artifact) and enforce a 60% statement-coverage floor on
-# internal/metrics, the package this repository's observability claims
-# rest on. Other packages are profiled but not gated.
+# a CI artifact) and enforce a 60% statement-coverage floor on the
+# packages this repository's claims lean on hardest: internal/metrics
+# (the observability layer), internal/compact (checkpointed log
+# truncation — the bounded-recovery story), and internal/lvmd (the
+# serving daemon and its durable recovery files). Other packages are
+# profiled but not gated.
 #
 # Usage: scripts/covergate.sh [profile-out]
 set -eu
@@ -13,12 +16,15 @@ cd "$repo_root"
 
 go test -count=1 -coverprofile="$profile" -coverpkg=./... ./...
 
-metrics_cov=$(go tool cover -func="$profile" |
-    awk '/^lvm\/internal\/metrics\// { sub(/%/, "", $3); sum += $3; n++ }
-         END { if (n == 0) { print "0" } else { printf "%.1f", sum / n } }')
-
-echo "internal/metrics statement coverage: ${metrics_cov}% (floor 60%)"
-if ! awk -v c="$metrics_cov" 'BEGIN { exit !(c >= 60.0) }'; then
-    echo "coverage gate FAILED: internal/metrics below 60%" >&2
-    exit 1
-fi
+fail=0
+for pkg in internal/metrics internal/compact internal/lvmd; do
+    cov=$(go tool cover -func="$profile" |
+        awk -v p="^lvm/$pkg/" '$1 ~ p { sub(/%/, "", $3); sum += $3; n++ }
+             END { if (n == 0) { print "0" } else { printf "%.1f", sum / n } }')
+    echo "$pkg statement coverage: ${cov}% (floor 60%)"
+    if ! awk -v c="$cov" 'BEGIN { exit !(c >= 60.0) }'; then
+        echo "coverage gate FAILED: $pkg below 60%" >&2
+        fail=1
+    fi
+done
+exit "$fail"
