@@ -70,6 +70,18 @@ type gateInput struct {
 		CommitsPerSec float64           `json:"commits_per_sec"`
 		Counters      map[string]uint64 `json:"counters"`
 	} `json:"serving"`
+	// Failover is optional (older baselines predate it): when present,
+	// promotion must have landed exactly at the acked watermark
+	// (promote_ok), every write acknowledged during the live migration
+	// must read back through the post-cutover routes (acked_readable),
+	// and the migration's stop-and-copy pause must stay bounded — the
+	// chase phase exists precisely so the frozen window is a final
+	// delta, not the whole copy.
+	Failover *struct {
+		PromoteOK      *bool    `json:"promote_ok"`
+		AckedReadable  *bool    `json:"acked_readable"`
+		MigratePauseMS *float64 `json:"migrate_pause_ms"`
+	} `json:"failover"`
 	Counters map[string]uint64 `json:"counters"`
 }
 
@@ -90,6 +102,13 @@ const (
 	minRecoverySpeedup  = 2.0
 	recoveryGateWorkers = 4
 )
+
+// maxMigratePauseMS bounds the live-migration convergence pause. The
+// stop-and-copy window only covers the post-freeze delta (at most
+// chase-threshold writes), so even a loaded CI host finishes it in tens
+// of milliseconds; a full second means the chase phase stopped doing its
+// job and the cutover is copying the world while frozen.
+const maxMigratePauseMS = 1000.0
 
 // errNoBaseline distinguishes "nothing to gate against" (file absent or
 // empty) from a malformed file. A fresh clone without a committed
@@ -217,6 +236,27 @@ func gate(base, cand *gateInput, tolerance float64) (lines []string, ok bool) {
 	default:
 		lines = append(lines, fmt.Sprintf("serving: all acked, clean drain, %.0f commits/s ok",
 			cand.Serving.CommitsPerSec))
+	}
+
+	switch {
+	case cand.Failover == nil || cand.Failover.PromoteOK == nil:
+		lines = append(lines, "failover: candidate has no failover section (skipped)")
+	case !*cand.Failover.PromoteOK:
+		lines = append(lines, "failover promotion: watermark/loss/takeover check FAIL")
+		ok = false
+	case cand.Failover.AckedReadable == nil || !*cand.Failover.AckedReadable:
+		lines = append(lines, "failover migration: acked writes not readable after cutover FAIL")
+		ok = false
+	case cand.Failover.MigratePauseMS != nil && *cand.Failover.MigratePauseMS > maxMigratePauseMS:
+		lines = append(lines, fmt.Sprintf("failover migration pause: %.1fms FAIL (> %.0fms: cutover stops the world)",
+			*cand.Failover.MigratePauseMS, maxMigratePauseMS))
+		ok = false
+	default:
+		pause := 0.0
+		if cand.Failover.MigratePauseMS != nil {
+			pause = *cand.Failover.MigratePauseMS
+		}
+		lines = append(lines, fmt.Sprintf("failover: promotion exact, acked readable, %.1fms migration pause ok", pause))
 	}
 
 	// The candidate must prove instrumentation was live while it hit the

@@ -222,6 +222,52 @@ func TestGateServing(t *testing.T) {
 	}
 }
 
+// TestGateFailover pins the robustness gate: a wrong-watermark promotion
+// fails, unreadable acked writes after a migration fail, an unbounded
+// stop-and-copy pause fails, and a candidate without the section (an
+// older lvmbench) skips.
+func TestGateFailover(t *testing.T) {
+	base := report(t, 47.0, 0, "")
+	counters := `, "counters": {"hwlogger.snoops": 12}`
+
+	healthy := report(t, 47.0, 0, counters+
+		`, "failover": {"promote_ok": true, "acked_readable": true, "migrate_pause_ms": 0.6}`)
+	if lines, ok := gate(base, healthy, 0.10); !ok {
+		t.Fatalf("healthy failover run failed the gate: %v", lines)
+	}
+
+	badPromote := report(t, 47.0, 0, counters+
+		`, "failover": {"promote_ok": false, "acked_readable": true, "migrate_pause_ms": 0.6}`)
+	lines, ok := gate(base, badPromote, 0.10)
+	if ok {
+		t.Fatalf("failed promotion passed the gate: %v", lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "failover promotion") {
+		t.Fatalf("no promotion verdict in %v", lines)
+	}
+
+	unreadable := report(t, 47.0, 0, counters+
+		`, "failover": {"promote_ok": true, "acked_readable": false, "migrate_pause_ms": 0.6}`)
+	if lines, ok := gate(base, unreadable, 0.10); ok {
+		t.Fatalf("unreadable acked writes passed the gate: %v", lines)
+	}
+
+	slow := report(t, 47.0, 0, counters+
+		`, "failover": {"promote_ok": true, "acked_readable": true, "migrate_pause_ms": 2500}`)
+	lines, ok = gate(base, slow, 0.10)
+	if ok {
+		t.Fatalf("2.5s migration pause passed the gate: %v", lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "migration pause") {
+		t.Fatalf("no pause verdict in %v", lines)
+	}
+
+	absent := report(t, 47.0, 0, counters)
+	if lines, ok := gate(base, absent, 0.10); !ok {
+		t.Fatalf("failover-less candidate failed the gate: %v", lines)
+	}
+}
+
 func TestGateFailsOnEmptyCounters(t *testing.T) {
 	base := report(t, 47.0, 0, "")
 	cand := report(t, 47.0, 0, "")

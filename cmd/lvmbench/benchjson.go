@@ -94,6 +94,31 @@ type benchReport struct {
 		Counters      map[string]uint64 `json:"counters"`
 	} `json:"serving"`
 
+	// Failover records the robustness-path measurements: promotion of a
+	// replica at its acked watermark (promote_ok demands an exact
+	// watermark, exactly-bounded loss, and a converged takeover) and a
+	// live segment migration under the client fleet (acked_readable
+	// demands every acknowledged write read back through the
+	// post-migration routes). The pauses are host wall-clock —
+	// informational trend data — but benchgate bounds the migration
+	// pause: a cutover that stops the world for seconds is a regression
+	// no matter the host.
+	Failover struct {
+		PromoteWatermark   uint64  `json:"promote_watermark"`
+		PromoteLost        uint64  `json:"promote_lost"`
+		PromoteMS          float64 `json:"promote_ms"`
+		PromoteOK          bool    `json:"promote_ok"`
+		MigrateSegment     uint64  `json:"migrate_segment"`
+		MigrateFrom        int     `json:"migrate_from"`
+		MigrateTo          int     `json:"migrate_to"`
+		MigratePauseMS     float64 `json:"migrate_pause_ms"`
+		MigrateChaseRounds int     `json:"migrate_chase_rounds"`
+		MigrateDeltaWrites int     `json:"migrate_delta_writes"`
+		MigrateSnapshotB   int     `json:"migrate_snapshot_bytes"`
+		LoadAcked          uint64  `json:"load_acked"`
+		AckedReadable      bool    `json:"acked_readable"`
+	} `json:"failover"`
+
 	// Counters is the non-zero metrics snapshot of the benchmarked
 	// system after the final run — proof the instrumented hot path was
 	// actually counting while hitting the ns/store number above.
@@ -207,6 +232,9 @@ func benchJSON() error {
 	if err := servingBench(&r); err != nil {
 		return err
 	}
+	if err := failoverBench(&r); err != nil {
+		return err
+	}
 
 	buf, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {
@@ -226,6 +254,7 @@ func benchJSON() error {
 	}
 	fmt.Printf("recovery output identical: %v\n", r.Recovery.Identical)
 	printServing(&r)
+	printFailover(&r)
 	return nil
 }
 

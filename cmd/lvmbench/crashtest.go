@@ -9,8 +9,9 @@ import (
 
 // runCrashtest executes the seeded fault-plan matrix and fails the
 // process when any plan fails to recover (or is nondeterministic).
-func runCrashtest(seeds int, short bool) error {
-	ok, err := crashtest.Run(crashtest.Options{Seeds: seeds, Short: short}, os.Stdout)
+// only restricts the matrix to templates whose name contains it.
+func runCrashtest(seeds int, short bool, only string) error {
+	ok, err := crashtest.Run(crashtest.Options{Seeds: seeds, Short: short, Only: only}, os.Stdout)
 	if err != nil {
 		return err
 	}

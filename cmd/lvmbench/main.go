@@ -28,6 +28,7 @@ var (
 	stride   = flag.Int("stride", 3, "compute-cycle stride for fig11/fig12 (1 = full resolution)")
 	csv      = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
 	seeds    = flag.Int("seeds", 8, "seeds per fault template for crashtest")
+	tmplOnly = flag.String("template", "", "restrict crashtest to templates whose name contains this")
 	short    = flag.Bool("short", false, "shrink the crashtest workloads (CI smoke)")
 	parallel = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential); host-side only, results are identical at any setting")
 )
@@ -97,7 +98,8 @@ Experiments (paper table/figure each regenerates):
   crashtest             seeded fault-injection + crash-recovery matrix (-seeds, -short)
   logship               log-shipping replication bench: records/sec + release latency vs replicas (-iters)
   compact               recovery cost vs log length, bare vs checkpointed compaction (-iters)
-  all                   everything above (except bench-json, crashtest, logship and compact)
+  failover              promotion at the acked watermark + live segment migration under load
+  all                   everything above (except bench-json, crashtest, logship, compact and failover)
 
 Flags:
 `)
@@ -217,13 +219,20 @@ func run(name string) error {
 		return benchJSON()
 	case "crashtest":
 		banner("Crash-recovery fault matrix (seeded, deterministic)")
-		return runCrashtest(*seeds, *short)
+		return runCrashtest(*seeds, *short, *tmplOnly)
 	case "logship":
 		banner("Log-shipping replication: throughput and release latency vs replica count")
 		return runLogship(*iters)
 	case "compact":
 		banner("Checkpointed compaction: recovery cost vs log length")
 		return runCompactBench(*iters)
+	case "failover":
+		banner("Failover: promotion at the acked watermark + live segment migration")
+		var r benchReport
+		if err := failoverBench(&r); err != nil {
+			return err
+		}
+		printFailover(&r)
 	case "extension-oodb":
 		banner("Extension: object database, RLVM speedup vs transaction length (Section 4.2 prediction)")
 		pts, err := experiments.OODB(nil, *txns/8)

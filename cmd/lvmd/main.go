@@ -20,6 +20,17 @@
 // recovers every shard twice, verifies recovery is deterministic, and —
 // when a drain manifest exists — verifies the recovered digests match
 // the drained state exactly.
+//
+// Standby (failover):
+//
+//	lvmd -standby -upstream 127.0.0.1:7420 -addr 127.0.0.1:7421 -dir /var/lib/lvmd-b
+//
+// follows a primary with one subscribed replica per shard. SIGUSR1
+// promotes: every replica rolls back to its last transaction boundary
+// and the promoted images start serving on this daemon's own address,
+// fenced one epoch above the dead primary. With the primary running
+// -sync-replicas (the batch fence waits for replica acks before the
+// commit is acknowledged), the promoted daemon holds every acked write.
 package main
 
 import (
@@ -52,6 +63,9 @@ func main() {
 		policy   = flag.String("policy", "stall", "slow-client policy: stall or drop")
 		stallMS  = flag.Int("stall-ms", 5000, "stall patience in milliseconds")
 		check    = flag.Bool("check", false, "verify recovery instead of serving")
+		syncRep  = flag.Bool("sync-replicas", false, "batch fence waits for replica acks: acked implies replicated")
+		standby  = flag.Bool("standby", false, "follow -upstream as a promotable standby")
+		upstream = flag.String("upstream", "", "primary address to follow in -standby mode")
 	)
 	flag.Parse()
 
@@ -76,22 +90,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lvmd: unknown policy %q\n", *policy)
 		os.Exit(2)
 	}
+	shCfg := lvmd.ShardConfig{Core: coreCfg, SyncReplicas: *syncRep}
+	serve := func(boot []lvmd.BootShard) int {
+		return serveMain(*addr, *dir, *shards, *slots, shCfg, pol,
+			time.Duration(*stallMS)*time.Millisecond, boot)
+	}
+	if *standby {
+		if *upstream == "" {
+			fmt.Fprintln(os.Stderr, "lvmd: -standby needs -upstream")
+			os.Exit(2)
+		}
+		os.Exit(runStandby(*upstream, *shards, shCfg, serve))
+	}
+	os.Exit(serve(nil))
+}
 
+// serveMain boots the daemon (recovering from dir, or from promoted boot
+// images) and serves until SIGTERM/SIGINT drains it to a manifest.
+func serveMain(addr, dir string, shards, slots int, shCfg lvmd.ShardConfig,
+	pol logship.Policy, stall time.Duration, boot []lvmd.BootShard) int {
 	// A manifest only describes a drained shutdown; one surviving a crash
 	// is stale and must not vouch for the state we are about to recover.
-	manifest := filepath.Join(*dir, "manifest.json")
+	manifest := filepath.Join(dir, "manifest.json")
 	_ = os.Remove(manifest) //errgate:ok — absent manifest is the normal case
 
 	srv, err := lvmd.NewServer(lvmd.ServerConfig{
-		Dir:          *dir,
-		Shards:       *shards,
-		Shard:        lvmd.ShardConfig{Core: coreCfg},
+		Dir:          dir,
+		Shards:       shards,
+		Shard:        shCfg,
 		Policy:       pol,
-		StallTimeout: time.Duration(*stallMS) * time.Millisecond,
+		StallTimeout: stall,
+		Boot:         boot,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lvmd: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	for i, info := range srv.RecoverInfos() {
 		if info.TailRecords > 0 || info.Seq > 0 {
@@ -99,13 +132,13 @@ func main() {
 				i, info.Seq, info.TailRecords, info.FromCheckpoint)
 		}
 	}
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lvmd: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	srv.Serve(ln)
-	fmt.Printf("lvmd: serving on %s shards=%d slots=%d\n", ln.Addr(), *shards, *slots)
+	fmt.Printf("lvmd: serving on %s shards=%d slots=%d\n", ln.Addr(), shards, slots)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -118,13 +151,14 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lvmd: manifest: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if !rep.Drained {
 		fmt.Fprintln(os.Stderr, "lvmd: drain was not clean")
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("lvmd: drained %d shards cleanly\n", len(rep.Shards))
+	return 0
 }
 
 // runCheck recovers every shard twice from the durable files, proving

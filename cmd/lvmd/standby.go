@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"lvm/internal/logship"
+	"lvm/internal/lvmd"
+	"lvm/internal/recovery"
+)
+
+// runStandby follows a primary lvmd: one subscribed marker-tracking
+// replica per shard, kept connected (with the bounded-retry dialer)
+// until a signal arrives. SIGUSR1 promotes — every shard replica is
+// rolled back to its last transaction boundary and promoted at its
+// acked watermark, and the promoted images boot a serving daemon on
+// this process's own address and data directory, fenced one epoch above
+// the dead primary. SIGTERM/SIGINT exits without promoting.
+//
+// When the primary runs -sync-replicas, an acknowledged commit implies
+// a replicated commit, so the promoted daemon serves every acked write:
+// a saved lvmload model replays against it with zero mismatches.
+func runStandby(upstream string, shards int, shCfg lvmd.ShardConfig, serve func(boot []lvmd.BootShard) int) int {
+	arenaSize, err := shCfg.Core.ArenaSize()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lvmd: %v\n", err)
+		return 1
+	}
+	reps := make([]*logship.Replica, shards)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := range reps {
+		dial := lvmd.SubscribeDialer(logship.TCPDialer(upstream), uint32(i))
+		r, err := logship.NewReplica(dial, arenaSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvmd: shard %d replica: %v\n", i, err)
+			return 1
+		}
+		r.TrackMarkers(lvmd.MarkerLimit)
+		reps[i] = r
+		wg.Add(1)
+		go func(r *logship.Replica) {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := r.Connect(); err != nil {
+					// TCPDialer already retried with backoff; pause before
+					// the next round so a dead upstream isn't hammered.
+					time.Sleep(500 * time.Millisecond)
+					continue
+				}
+				if stop.Load() {
+					r.Kill()
+					return
+				}
+				<-r.Done()
+			}
+		}(r)
+	}
+	fmt.Printf("lvmd: standby following %s with %d shard replicas\n", upstream, shards)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGUSR1, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	signal.Stop(sig)
+	stop.Store(true)
+	for _, r := range reps {
+		r.Kill()
+	}
+	wg.Wait()
+	if got != syscall.SIGUSR1 {
+		fmt.Println("lvmd: standby exiting without promotion")
+		return 0
+	}
+
+	// Promote every shard at its acked watermark. The authority is local:
+	// the operator's promote signal IS the coordination in this topology
+	// (one standby per primary); the grant still bumps the epoch so the
+	// promoted shippers fence zombie-generation subscribers.
+	boot := make([]lvmd.BootShard, shards)
+	for i, r := range reps {
+		a := &logship.Authority{Cur: logship.Grant{Epoch: r.Epoch(), Token: 1}}
+		res, err := logship.Promote(a, r, fmt.Sprintf("standby-%d", i), 0, logship.PromoteHooks{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvmd: shard %d promotion: %v\n", i, err)
+			return 1
+		}
+		img := r.Image()
+		seq := le32(img) &^ recovery.MarkerCommit
+		stamp := seq | recovery.MarkerCommit
+		img[0], img[1], img[2], img[3] = byte(stamp), byte(stamp>>8), byte(stamp>>16), byte(stamp>>24)
+		boot[i] = lvmd.BootShard{Img: img, Seq: seq, Epoch: res.Grant.Epoch}
+		fmt.Printf("lvmd: shard %d promoted at watermark %d (seq=%d epoch=%d rolled=%d)\n",
+			i, res.Watermark, seq, res.Grant.Epoch, res.RolledBack)
+	}
+	return serve(boot)
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -69,6 +69,10 @@ func main() {
 		"p50=%.0fµs p95=%.0fµs p99=%.0fµs max=%.0fµs deaths=%d readErr=%d\n",
 		res.Clients, res.Segments, res.Acked, res.Sent, res.Seconds, res.CommitsPerS,
 		res.P50us, res.P95us, res.P99us, res.MaxUs, res.Deaths, res.ReadErrors)
+	if *rate > 0 {
+		fmt.Printf("lvmload: open loop at %.0f/s: queue depth max=%d avg=%.1f\n",
+			*rate, res.QueueMaxDepth, res.QueueAvgDepth)
+	}
 	if err := writeJSON(*report, res); err != nil {
 		fmt.Fprintf(os.Stderr, "lvmload: report: %v\n", err)
 		os.Exit(1)

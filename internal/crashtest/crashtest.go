@@ -15,6 +15,7 @@ package crashtest
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"lvm/internal/core"
 	"lvm/internal/fault"
@@ -31,6 +32,10 @@ type Options struct {
 	Seeds int
 	// Short shrinks the workloads (CI smoke).
 	Short bool
+	// Only, when non-empty, restricts the matrix to templates whose name
+	// contains it (the CI failover job runs just the failover and
+	// migration rows at full depth).
+	Only string
 }
 
 // Every log and compact scenario runs with the FIFO write-absorption
@@ -165,6 +170,17 @@ func templates() []template {
 			plan: func(seed, dry uint64) fault.Plan {
 				return fault.Plan{CrashAtCycle: dry * (25 + seed*13%70) / 100}
 			}},
+		// Failover under fire: kill the promotion handshake at the phase
+		// the seed selects (candidate- and coordinator-side crashes), then
+		// resume it; no acked record may be lost and no moment may hold two
+		// validating grants. CrashAtCycle carries the raw seed so eight
+		// seeds sweep every phase (the scenario never arms an injector).
+		{name: "failover/crash-during-promotion", scenario: "failover", maxBatch: 8,
+			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{CrashAtCycle: seed} }},
+		// Live migration killed at each cut of the cutover fence sequence;
+		// the segment must be recoverable from exactly one side.
+		{name: "lvmd/crash-mid-migration", scenario: "migrate", maxBatch: 8,
+			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{CrashAtCycle: seed} }},
 		{name: "compact/clean", scenario: "compact", maxBatch: 24,
 			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{} }},
 		{name: "compact/crash-diskop", scenario: "compact", maxBatch: 24,
@@ -190,6 +206,9 @@ func Run(opts Options, w io.Writer) (bool, error) {
 	ts := templates()
 	plans, passed, failed, nondet := 0, 0, 0, 0
 	for ti, t := range ts {
+		if opts.Only != "" && !strings.Contains(t.name, opts.Only) {
+			continue
+		}
 		for seed := 0; seed < opts.Seeds; seed++ {
 			plans++
 			o1 := runPlan(t, ti, uint64(seed), opts.Short)
@@ -259,6 +278,10 @@ func runScenario(t template, plan fault.Plan, short bool) (outcome, uint64) {
 		return runCompact(t, plan, short)
 	case "lvmd":
 		return runLvmd(t, plan, short)
+	case "failover":
+		return runFailover(t, plan, short)
+	case "migrate":
+		return runMigrate(t, plan, short)
 	}
 	return runTPCA(t, plan, short)
 }

@@ -332,6 +332,10 @@ func (c *Consumer) ApplyImage(off uint32, b []byte) {
 // Word reads one replica word (raw).
 func (c *Consumer) Word(off uint32) uint32 { return c.seg.Read32(off) }
 
+// ReadInto copies replica bytes starting at off into b — the image dump
+// a failover uses to re-seed a new primary from a surviving replica.
+func (c *Consumer) ReadInto(off uint32, b []byte) { c.seg.ReadInto(off, b) }
+
 func le32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }

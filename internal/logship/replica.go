@@ -32,6 +32,20 @@ type Replica struct {
 	epoch   uint32
 	err     error
 
+	// Marker-protocol transaction tracking (TrackMarkers). Batches seal
+	// at record-count boundaries, not transaction boundaries, so an acked
+	// replica can hold the front half of a transaction; the undo ledger
+	// records the pre-image of every word the open transaction touched so
+	// Rollback can settle the replica at its last transaction boundary
+	// before a promotion serves from it.
+	markerLimit uint32
+	undo        []undoWord
+	inflight    bool
+	// inflightUnknown: the session began from a snapshot image whose
+	// marker word shows an open transaction — there is no pre-image to
+	// undo with, so Rollback must refuse until a commit marker closes it.
+	inflightUnknown bool
+
 	conn      net.Conn
 	done      chan struct{}
 	connected bool
@@ -61,6 +75,24 @@ func closedChan() chan struct{} {
 	close(ch)
 	return ch
 }
+
+// ErrFenced marks a session refused because the shipper's generation is
+// behind the replica's: a zombie ex-primary trying to feed a replica
+// that already follows a promoted timeline.
+var ErrFenced = errors.New("logship: fenced: shipper epoch is stale")
+
+// undoWord is one pre-image entry of the open transaction's undo ledger.
+type undoWord struct {
+	off uint32
+	val uint32
+}
+
+// TrackMarkers enables marker-protocol transaction tracking: the word at
+// offset 0 of a segment whose writers follow the recovery marker
+// protocol carries begin/commit markers, and the replica keeps the
+// pre-image of every word the open transaction wrote so Rollback can
+// undo a half-replicated tail. Call while disconnected, before Connect.
+func (r *Replica) TrackMarkers(markerLimit uint32) { r.markerLimit = markerLimit }
 
 // System exposes the replica's simulated machine (for metrics snapshots).
 func (r *Replica) System() *core.System { return r.sys }
@@ -115,12 +147,23 @@ func (r *Replica) Connect() error {
 		c.Close()
 		return fmt.Errorf("logship: shipper segment is %d bytes, replica is %d", w.segSize, r.size)
 	}
+	if w.epoch < r.epoch {
+		// Epochs only move forward: a shipper behind our generation is a
+		// zombie ex-primary, and following it would roll this replica
+		// back behind the promoted timeline it already acknowledged.
+		c.Close()
+		r.Stats.Fenced.Add(1)
+		return fmt.Errorf("%w: shipper at epoch %d, replica follows %d", ErrFenced, w.epoch, r.epoch)
+	}
 	_ = c.SetDeadline(time.Time{})
 	if w.startSeq == 0 && (r.lastSeq > 0 || w.epoch != r.epoch) {
 		// Full resync under a new log generation: replaying from the
 		// log start in order converges the replica regardless of its
 		// current contents.
 		r.lastSeq = 0
+		r.undo = r.undo[:0]
+		r.inflight = false
+		r.inflightUnknown = false
 	}
 	r.epoch = w.epoch
 	if r.connected {
@@ -226,6 +269,16 @@ func (r *Replica) applySnapshot(c net.Conn, payload []byte) bool {
 	if h.coverSeq > r.lastSeq {
 		r.lastSeq = h.coverSeq
 	}
+	if r.markerLimit > 0 {
+		// The image replaced whatever transaction state we were tracking.
+		// If its marker word shows an open transaction, we hold its
+		// writes without their pre-images — note that, so Rollback can
+		// refuse instead of pretending.
+		r.undo = r.undo[:0]
+		r.inflight = false
+		m := r.cons.Word(0)
+		r.inflightUnknown = m != 0 && m&recovery.MarkerCommit == 0
+	}
 	return r.sendAck(c, r.lastSeq)
 }
 
@@ -242,12 +295,91 @@ func (r *Replica) applyBatch(h batchHeader, records []byte) bool {
 				i, h.count, rec.Addr, rec.WriteSize)
 			return false
 		}
+		if r.markerLimit > 0 {
+			r.track(rec)
+		}
 		r.cons.ApplyRecord(rec.Addr, rec.Value, rec.WriteSize)
 		r.Stats.RecordsApplied.Add(1)
 	}
 	r.Stats.BatchesApplied.Add(1)
 	return true
 }
+
+// track maintains the undo ledger across one record. The marker word at
+// offset 0 opens (begin: seq, commit bit clear) and closes (commit:
+// seq|MarkerCommit) transactions; while one is open, every word about to
+// be overwritten is saved first.
+func (r *Replica) track(rec logrec.Record) {
+	if rec.Addr == 0 && rec.WriteSize == 4 {
+		if rec.Value&recovery.MarkerCommit != 0 {
+			// Commit marker: the transaction is whole on this replica.
+			r.undo = r.undo[:0]
+			r.inflight = false
+			r.inflightUnknown = false
+			return
+		}
+		// Begin marker: root a fresh ledger at the pre-begin marker word.
+		r.undo = append(r.undo[:0], undoWord{0, r.cons.Word(0)})
+		r.inflight = true
+		r.inflightUnknown = false
+		return
+	}
+	if !r.inflight {
+		return
+	}
+	for w := rec.Addr &^ 3; w < rec.Addr+uint32(rec.WriteSize); w += 4 {
+		r.undo = append(r.undo, undoWord{w, r.cons.Word(w)})
+	}
+}
+
+// Rollback settles the replica at its last transaction boundary: the
+// pre-images of a half-replicated open transaction are restored in
+// reverse, leaving exactly the state every acknowledged commit marker
+// covers. It reports the words restored. Call only while disconnected —
+// this is the freeze step of a promotion.
+func (r *Replica) Rollback() (int, error) {
+	<-r.done
+	if r.inflightUnknown {
+		return 0, fmt.Errorf("logship: replica image holds an open transaction with no pre-images; cannot roll back")
+	}
+	n := len(r.undo)
+	for i := n - 1; i >= 0; i-- {
+		u := r.undo[i]
+		r.cons.ApplyRecord(u.off, u.val, 4)
+	}
+	r.undo = r.undo[:0]
+	r.inflight = false
+	r.Stats.RolledBack.Add(uint64(n))
+	return n, nil
+}
+
+// Image dumps the replica segment — the state a promotion re-seeds the
+// new primary from. Call only while disconnected, after Rollback if the
+// segment follows the marker protocol.
+func (r *Replica) Image() []byte {
+	<-r.done
+	img := make([]byte, r.size)
+	r.cons.ReadInto(0, img)
+	return img
+}
+
+// Epoch reports the last generation a welcome taught this replica. Call
+// only while disconnected.
+func (r *Replica) Epoch() uint32 { return r.epoch }
+
+// SetEpoch seeds the fencing floor: a replica told the promoted
+// generation refuses any shipper behind it, even before first contact
+// with the new primary. Call only while disconnected.
+func (r *Replica) SetEpoch(e uint32) {
+	<-r.done
+	if e > r.epoch {
+		r.epoch = e
+	}
+}
+
+// Done exposes the current session's termination channel: closed when no
+// consume goroutine is running.
+func (r *Replica) Done() <-chan struct{} { return r.done }
 
 func (r *Replica) sendAck(c net.Conn, seq uint64) bool {
 	if _, err := c.Write(encodeFrame(typeAck, encodeAck(seq))); err != nil {

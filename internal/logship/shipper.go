@@ -40,6 +40,15 @@ type Config struct {
 	StallTimeout time.Duration
 	// HandshakeTimeout bounds the hello/welcome exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// Epoch seeds the log generation (default 1). A shipper re-seeded
+	// from a promoted replica image starts at the grant's epoch so the
+	// zombie ex-primary's generation is strictly behind it.
+	Epoch uint32
+	// StartSeq seeds the logical cursor over an empty log: sealed, seq,
+	// and base all start there, so a consumer resuming below it (or fresh
+	// at zero) is caught up by snapshot — exactly the semantics of a
+	// promotion at the acked watermark.
+	StartSeq uint64
 }
 
 func (c *Config) fill() {
@@ -54,6 +63,9 @@ func (c *Config) fill() {
 	}
 	if c.HandshakeTimeout <= 0 {
 		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 1
 	}
 }
 
@@ -137,7 +149,12 @@ func NewShipper(sys *core.System, data, ls *core.Segment, ln net.Listener, cfg C
 		all:    make(map[*shipConn]struct{}),
 		closed: make(chan struct{}),
 	}
-	s.epoch.Store(1)
+	s.epoch.Store(cfg.Epoch)
+	if cfg.StartSeq > 0 {
+		s.sealedSeq = cfg.StartSeq
+		s.seq.Store(cfg.StartSeq)
+		s.base.Store(cfg.StartSeq)
+	}
 	sys.Metrics().AddCollector(s.Stats.Collect)
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -189,6 +206,15 @@ func (s *Shipper) handshake(c net.Conn) {
 	}
 	h, err := decodeHello(payload)
 	if err != nil || h.segSize != s.data.Size() {
+		c.Close()
+		return
+	}
+	if h.epoch > s.epoch.Load() {
+		// The consumer follows a later generation than ours, which means
+		// a promotion happened and we are the zombie ex-primary. Refuse
+		// the session: feeding it would roll the consumer back behind the
+		// promoted timeline. Epochs only move forward.
+		s.Stats.FencedHellos.Add(1)
 		c.Close()
 		return
 	}
@@ -556,6 +582,24 @@ func (s *Shipper) Compacted(cutRecords uint64) error {
 		return fmt.Errorf("logship: post-compaction reseek: %w", err)
 	}
 	return nil
+}
+
+// DropLaggards disconnects every live consumer whose ack trails seq and
+// reports how many were cut. It is the bounded-wait escape hatch of
+// synchronous replication: after ReleaseShip times out, the laggards are
+// dropped (they rejoin and catch up from their acked cursor) rather than
+// holding the producer's commit path hostage. Producer thread only.
+func (s *Shipper) DropLaggards(seq uint64) int {
+	n := 0
+	for _, c := range s.conns {
+		if !c.dead.Load() && c.acked.Load() < seq {
+			s.Stats.Drops.Add(1)
+			c.kill()
+			n++
+		}
+	}
+	s.sweepDead()
+	return n
 }
 
 // sweepDead drops dead connections from the broadcast set.

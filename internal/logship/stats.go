@@ -24,6 +24,11 @@ type ShipStats struct {
 	// the image bytes those snapshots carried.
 	SnapshotsShipped atomic.Uint64
 	SnapshotBytes    atomic.Uint64
+
+	// FencedHellos counts handshakes refused because the consumer claimed
+	// a future epoch — the signature of a zombie ex-primary still serving
+	// after a promotion granted its generation away.
+	FencedHellos atomic.Uint64
 }
 
 // Collect is a metrics.Collector emitting the shipper's counters.
@@ -39,6 +44,7 @@ func (s *ShipStats) Collect(emit func(name string, v uint64)) {
 	emit("logship.catchup_records", s.CatchupRecords.Load())
 	emit("logship.snapshots_shipped", s.SnapshotsShipped.Load())
 	emit("logship.snapshot_bytes", s.SnapshotBytes.Load())
+	emit("logship.fenced_hellos", s.FencedHellos.Load())
 }
 
 // ReplicaStats are the consumer-side counters, surfaced in the replica
@@ -56,6 +62,15 @@ type ReplicaStats struct {
 	// catch-up across a compaction; SnapshotBytes is their image bytes.
 	SnapshotsApplied atomic.Uint64
 	SnapshotBytes    atomic.Uint64
+
+	// Fenced counts sessions refused because the shipper's welcome carried
+	// an epoch behind the replica's — a zombie ex-primary trying to feed a
+	// replica that already follows a promoted generation.
+	Fenced atomic.Uint64
+
+	// RolledBack counts words restored by Rollback when a promotion
+	// settles the replica at its last transaction boundary.
+	RolledBack atomic.Uint64
 }
 
 // Collect is a metrics.Collector emitting the replica's counters.
@@ -69,4 +84,6 @@ func (s *ReplicaStats) Collect(emit func(name string, v uint64)) {
 	emit("logship.replica_quarantined_records", s.QuarantinedRecords.Load())
 	emit("logship.replica_snapshots_applied", s.SnapshotsApplied.Load())
 	emit("logship.replica_snapshot_bytes", s.SnapshotBytes.Load())
+	emit("logship.replica_fenced", s.Fenced.Load())
+	emit("logship.replica_rolled_back", s.RolledBack.Load())
 }

@@ -3,15 +3,89 @@ package logship
 import (
 	"fmt"
 	"net"
+	"sync"
+	"time"
 )
 
 // DialFunc opens one connection to a shipper. Replicas hold a DialFunc
 // rather than a net.Conn so they can redial after a crash or disconnect.
 type DialFunc func() (net.Conn, error)
 
-// TCPDialer returns a DialFunc for a shipper listening at addr.
+// TCPDialer returns a DialFunc for a shipper listening at addr, with the
+// default bounded-retry policy: a primary restarting after a crash takes
+// longer than one dial, and a terminal first-dial failure would orphan
+// the replica.
 func TCPDialer(addr string) DialFunc {
-	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	return RetryDialer(func() (net.Conn, error) { return net.Dial("tcp", addr) }, RetryConfig{})
+}
+
+// RetryConfig tunes RetryDialer.
+type RetryConfig struct {
+	// Attempts bounds the dials per call (default 5); the last error is
+	// returned when they are exhausted.
+	Attempts int
+	// Base is the first backoff (default 10ms); each retry doubles it up
+	// to Max (default 2s).
+	Base time.Duration
+	Max  time.Duration
+	// Seed drives the deterministic jitter stream (default 1).
+	Seed uint64
+}
+
+func (c *RetryConfig) fill() {
+	if c.Attempts <= 0 {
+		c.Attempts = 5
+	}
+	if c.Base <= 0 {
+		c.Base = 10 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RetryDialer wraps dial with bounded retry: exponential backoff plus up
+// to 50% jitter from a deterministic xorshift stream, so a fleet of
+// replicas redialing a restarted primary spreads out instead of
+// thundering. The returned DialFunc is safe for concurrent use.
+func RetryDialer(dial DialFunc, cfg RetryConfig) DialFunc {
+	cfg.fill()
+	var mu sync.Mutex
+	rng := cfg.Seed
+	jitter := func(d time.Duration) time.Duration {
+		mu.Lock()
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		j := rng
+		mu.Unlock()
+		if d <= 1 {
+			return 0
+		}
+		return time.Duration(j % uint64(d/2))
+	}
+	return func() (net.Conn, error) {
+		backoff := cfg.Base
+		var lastErr error
+		for i := 0; i < cfg.Attempts; i++ {
+			if i > 0 {
+				time.Sleep(backoff + jitter(backoff))
+				backoff *= 2
+				if backoff > cfg.Max {
+					backoff = cfg.Max
+				}
+			}
+			c, err := dial()
+			if err == nil {
+				return c, nil
+			}
+			lastErr = err
+		}
+		return nil, fmt.Errorf("logship: dial failed after %d attempts: %w", cfg.Attempts, lastErr)
+	}
 }
 
 // memAddr is the mem transport's net.Addr.

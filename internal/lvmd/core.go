@@ -26,6 +26,25 @@ const MarkerLimit = uint32(16)
 // consistent.
 const dirEntryBytes = uint32(8)
 
+// Directory entry flag bits. Segment IDs must stay below receivingBit;
+// the top two bits carry migration state, which recovers with the data
+// because the entry is rewritten inside marker transactions:
+//
+//	id            — this shard owns and serves the segment
+//	id|movedBit   — tombstone: the segment migrated away (slot retired)
+//	id|receivingBit — inbound copy: data is being imported; it serves
+//	                  only if the source's tombstone committed first
+//
+// The cutover order (destination data fenced, then source tombstone,
+// then destination activation) makes the crash rule single-valued: an
+// untombstoned source always wins, and a receiving copy wins only when
+// the source's tombstone proves the destination copy was complete.
+const (
+	movedBit     = uint64(1) << 63
+	receivingBit = uint64(1) << 62
+	dirFlagMask  = movedBit | receivingBit
+)
+
 // CoreConfig sizes one shard's deterministic simulation.
 type CoreConfig struct {
 	// Slots is the tenant-segment capacity; SlotSize the bytes per tenant
@@ -93,6 +112,17 @@ type ShardCore struct {
 	seq      uint32
 	slots    map[uint64]uint32 // segID → slot index
 	nextSlot uint32
+
+	// Migration state. moved holds tombstoned entries (segment migrated
+	// away); receiving marks slots whose data arrived by migration but
+	// whose entry has not been activated yet. frozen/captureID/captureBuf
+	// are volatile: a crash un-freezes and drops the capture, which is
+	// safe because an unfinished migration resolves to the source.
+	moved      map[uint64]uint32
+	receiving  map[uint64]bool
+	frozen     uint64
+	captureID  uint64
+	captureBuf []Write
 
 	reader  *core.LogReader // tail-capture cursor (Tail != nil only)
 	ship    *coreShip
@@ -202,15 +232,17 @@ func NewCore(cfg CoreConfig, img []byte, seq uint32) (*ShardCore, error) {
 		return nil, fmt.Errorf("lvmd: arena binding: %w", err)
 	}
 	c := &ShardCore{
-		Sys:      sys,
-		Arena:    arena,
-		LogSeg:   ls,
-		P:        sys.NewProcess(0, as),
-		cfg:      cfg,
-		base:     base,
-		slotBase: slotBaseFor(cfg.Slots),
-		slots:    make(map[uint64]uint32),
-		sh:       sys.DeviceShard(),
+		Sys:       sys,
+		Arena:     arena,
+		LogSeg:    ls,
+		P:         sys.NewProcess(0, as),
+		cfg:       cfg,
+		base:      base,
+		slotBase:  slotBaseFor(cfg.Slots),
+		slots:     make(map[uint64]uint32),
+		moved:     make(map[uint64]uint32),
+		receiving: make(map[uint64]bool),
+		sh:        sys.DeviceShard(),
 	}
 	c.ship = &coreShip{c: c}
 	c.Mgr, err = compact.New(sys, compact.Options{
@@ -245,15 +277,26 @@ func NewCore(cfg CoreConfig, img []byte, seq uint32) (*ShardCore, error) {
 }
 
 // rebuildSlots reconstructs the segID→slot map from a recovered image's
-// directory region.
+// directory region. Tombstoned entries keep their slot retired; a
+// receiving entry holds real data and is mapped so the ownership scan
+// can serve it if the source proved the copy complete.
 func (c *ShardCore) rebuildSlots(img []byte) {
 	for i := 0; i < c.cfg.Slots; i++ {
 		off := MarkerLimit + uint32(i)*dirEntryBytes
-		segID := get64(img[off:])
-		if segID == 0 {
+		e := get64(img[off:])
+		if e == 0 {
 			break // entries are allocated densely
 		}
-		c.slots[segID] = uint32(i)
+		id := e &^ dirFlagMask
+		switch {
+		case e&movedBit != 0:
+			c.moved[id] = uint32(i)
+		case e&receivingBit != 0:
+			c.slots[id] = uint32(i)
+			c.receiving[id] = true
+		default:
+			c.slots[id] = uint32(i)
+		}
 		c.nextSlot = uint32(i) + 1
 	}
 }
@@ -296,6 +339,11 @@ func (c *ShardCore) Lookup(segID uint64) (uint32, bool) {
 // ErrNoSlot reports a full slot directory.
 var ErrNoSlot = errors.New("lvmd: shard slot directory full")
 
+// ErrMoved reports an operation on a segment this shard no longer (or
+// not yet) serves: it migrated away, or is frozen mid-cutover. The
+// server answers StatusMoved and the client re-resolves its route.
+var ErrMoved = errors.New("lvmd: segment moved")
+
 // Open maps segID to a slot, allocating one inside a marker-bracketed
 // transaction on first open (the directory write recovers with the
 // data). The allocation is durable only after the next SyncBatch; the
@@ -304,8 +352,14 @@ func (c *ShardCore) Open(segID uint64) (slot uint32, existed bool, err error) {
 	if segID == 0 {
 		return 0, false, errors.New("lvmd: segment ID 0 is reserved")
 	}
+	if segID&dirFlagMask != 0 {
+		return 0, false, fmt.Errorf("lvmd: segment ID %#x collides with directory flag bits", segID)
+	}
 	if s, ok := c.slots[segID]; ok {
 		return s, true, nil
+	}
+	if _, gone := c.moved[segID]; gone {
+		return 0, false, ErrMoved
 	}
 	if int(c.nextSlot) >= c.cfg.Slots {
 		return 0, false, ErrNoSlot
@@ -329,7 +383,13 @@ func (c *ShardCore) Open(segID uint64) (slot uint32, existed bool, err error) {
 func (c *ShardCore) Commit(segID uint64, writes []Write) (uint32, error) {
 	slot, ok := c.slots[segID]
 	if !ok {
+		if _, gone := c.moved[segID]; gone {
+			return 0, ErrMoved
+		}
 		return 0, fmt.Errorf("lvmd: commit to unopened segment %d", segID)
+	}
+	if c.frozen == segID {
+		return 0, ErrMoved
 	}
 	for _, w := range writes {
 		if w.Off%4 != 0 || w.Off+4 > c.cfg.SlotSize {
@@ -343,6 +403,9 @@ func (c *ShardCore) Commit(segID uint64, writes []Write) (uint32, error) {
 		c.P.Store32(va+core.Addr(w.Off), w.Val)
 	}
 	c.P.Store32(c.base, c.seq|recovery.MarkerCommit) // commit
+	if c.captureID == segID && segID != 0 {
+		c.captureBuf = append(c.captureBuf, writes...)
+	}
 	c.sh.Inc(metrics.LvmdCommits)
 	c.sh.Add(metrics.LvmdStores, uint64(len(writes)))
 	return c.seq, nil
@@ -354,6 +417,9 @@ func (c *ShardCore) Commit(segID uint64, writes []Write) (uint32, error) {
 func (c *ShardCore) Read(segID uint64, off, n uint32) ([]byte, error) {
 	slot, ok := c.slots[segID]
 	if !ok {
+		if _, gone := c.moved[segID]; gone {
+			return nil, ErrMoved
+		}
 		return nil, fmt.Errorf("lvmd: read of unopened segment %d", segID)
 	}
 	if off+n < off || off+n > c.cfg.SlotSize {

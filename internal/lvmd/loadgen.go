@@ -48,25 +48,60 @@ func (c *Client) call(typ byte, payload []byte, wantTyp byte) ([]byte, error) {
 	return resp, nil
 }
 
+// movedRetries bounds how many times a client chases a migrating
+// segment (StatusMoved) before surfacing the error; each retry backs
+// off linearly, so a cutover in progress has time to flip the route.
+const movedRetries = 10
+
+func movedWait(attempt int) { time.Sleep(time.Duration(attempt+1) * time.Millisecond) }
+
 // Open maps a segment, returning its slot geometry.
 func (c *Client) Open(segID uint64) (slotSize uint32, err error) {
-	p, err := c.call(logship.FrameOpen, encodeOpen(segID), logship.FrameOpenResp)
-	if err != nil {
-		return 0, err
+	for attempt := 0; ; attempt++ {
+		p, err := c.call(logship.FrameOpen, encodeOpen(segID), logship.FrameOpenResp)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := decodeOpenResp(p)
+		if err != nil {
+			return 0, err
+		}
+		if resp.status == StatusMoved && attempt < movedRetries {
+			movedWait(attempt)
+			continue
+		}
+		if resp.status != StatusOK {
+			return 0, fmt.Errorf("lvmd: open segment %d: status %d", segID, resp.status)
+		}
+		return resp.slotSize, nil
 	}
-	resp, err := decodeOpenResp(p)
-	if err != nil {
-		return 0, err
-	}
-	if resp.status != StatusOK {
-		return 0, fmt.Errorf("lvmd: open segment %d: status %d", segID, resp.status)
-	}
-	return resp.slotSize, nil
 }
 
 // Commit sends the transaction's stores and its commit, and waits for
-// the durable acknowledgement.
+// the durable acknowledgement. A StatusMoved answer (the segment is
+// migrating) retries the whole transaction — the moved attempt did not
+// commit — against the server's updated route.
 func (c *Client) Commit(segID uint64, writes []Write) error {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.commitOnce(segID, writes)
+		if err != nil {
+			return err
+		}
+		if resp.status == StatusMoved && attempt < movedRetries {
+			movedWait(attempt)
+			continue
+		}
+		if resp.status != StatusOK {
+			return fmt.Errorf("lvmd: commit segment %d: status %d", segID, resp.status)
+		}
+		if resp.clientSeq != c.seq {
+			return fmt.Errorf("lvmd: commit ack for seq %d, want %d", resp.clientSeq, c.seq)
+		}
+		return nil
+	}
+}
+
+func (c *Client) commitOnce(segID uint64, writes []Write) (commitResp, error) {
 	var buf []byte
 	for _, w := range writes {
 		buf = append(buf, logship.EncodeFrame(logship.FrameStore,
@@ -76,43 +111,39 @@ func (c *Client) Commit(segID uint64, writes []Write) error {
 	buf = append(buf, logship.EncodeFrame(logship.FrameCommit,
 		encodeCommit(commitReq{segID: segID, clientSeq: c.seq}))...)
 	if _, err := c.conn.Write(buf); err != nil {
-		return err
+		return commitResp{}, err
 	}
 	typ, p, err := logship.ReadFrame(c.r)
 	if err != nil {
-		return err
+		return commitResp{}, err
 	}
 	if typ != logship.FrameCommitResp {
-		return fmt.Errorf("lvmd: got frame %d, want commit response", typ)
+		return commitResp{}, fmt.Errorf("lvmd: got frame %d, want commit response", typ)
 	}
-	resp, err := decodeCommitResp(p)
-	if err != nil {
-		return err
-	}
-	if resp.status != StatusOK {
-		return fmt.Errorf("lvmd: commit segment %d: status %d", segID, resp.status)
-	}
-	if resp.clientSeq != c.seq {
-		return fmt.Errorf("lvmd: commit ack for seq %d, want %d", resp.clientSeq, c.seq)
-	}
-	return nil
+	return decodeCommitResp(p)
 }
 
 // Read returns committed segment bytes.
 func (c *Client) Read(segID uint64, off, n uint32) ([]byte, error) {
-	p, err := c.call(logship.FrameRead, encodeRead(readReq{segID: segID, off: off, n: n}),
-		logship.FrameReadResp)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		p, err := c.call(logship.FrameRead, encodeRead(readReq{segID: segID, off: off, n: n}),
+			logship.FrameReadResp)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := decodeReadResp(p)
+		if err != nil {
+			return nil, err
+		}
+		if resp.status == StatusMoved && attempt < movedRetries {
+			movedWait(attempt)
+			continue
+		}
+		if resp.status != StatusOK {
+			return nil, fmt.Errorf("lvmd: read segment %d: status %d", segID, resp.status)
+		}
+		return resp.data, nil
 	}
-	resp, err := decodeReadResp(p)
-	if err != nil {
-		return nil, err
-	}
-	if resp.status != StatusOK {
-		return nil, fmt.Errorf("lvmd: read segment %d: status %d", segID, resp.status)
-	}
-	return resp.data, nil
 }
 
 // Stats fetches the daemon's host counters.
@@ -133,7 +164,12 @@ type LoadConfig struct {
 	Segments int
 	Duration time.Duration
 	// Rate is the fleet-wide target commits/sec (0 = closed loop: every
-	// client commits back-to-back).
+	// client commits back-to-back). A nonzero rate is an open-loop
+	// arrival model: each client's transactions arrive on an absolute
+	// wall-clock schedule regardless of how long earlier commits took, so
+	// a slow server accumulates a backlog (reported as queue depth)
+	// instead of silently shedding offered load the way coordinated
+	// pacing would.
 	Rate float64
 	// StoresPerCommit is the transaction size (default 4); VerifyEvery
 	// makes every Nth operation a read-back check (0 = never).
@@ -173,8 +209,13 @@ type LoadResult struct {
 	P95us       float64 `json:"p95_us"`
 	P99us       float64 `json:"p99_us"`
 	MaxUs       float64 `json:"max_us"`
-	Hist        []uint64
-	Host        *HostStats `json:"host,omitempty"`
+	// Open-loop backlog (Rate > 0 only): arrivals whose scheduled time
+	// had already passed when the client got to them. A depth that grows
+	// with the run means the offered rate exceeds capacity.
+	QueueMaxDepth uint64  `json:"queue_max_depth,omitempty"`
+	QueueAvgDepth float64 `json:"queue_avg_depth,omitempty"`
+	Hist          []uint64
+	Host          *HostStats `json:"host,omitempty"`
 }
 
 // latHist is a lock-free power-of-two latency histogram (bucket i holds
@@ -234,6 +275,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, *Model, error) {
 	}
 	var (
 		sent, acked, failed, deaths, reads, readErrs atomic.Uint64
+		depthSum, depthN, depthMax                   atomic.Uint64
 		hist                                         latHist
 		wg                                           sync.WaitGroup
 		modelMu                                      sync.Mutex
@@ -279,11 +321,24 @@ func RunLoad(cfg LoadConfig) (LoadResult, *Model, error) {
 			writes := make([]Write, cfg.StoresPerCommit)
 			for n := uint32(0); time.Now().Before(deadline); n++ {
 				if pace > 0 {
+					// Open loop: the nth arrival is due at an absolute time;
+					// if it is already overdue, the client injects immediately
+					// and the arrears count as queue depth.
 					next := start.Add(time.Duration(i)*pace/time.Duration(cfg.Clients) +
 						time.Duration(n)*pace)
 					if d := time.Until(next); d > 0 {
 						time.Sleep(d)
+					} else {
+						depth := uint64(-d/pace) + 1
+						depthSum.Add(depth)
+						for {
+							cur := depthMax.Load()
+							if depth <= cur || depthMax.CompareAndSwap(cur, depth) {
+								break
+							}
+						}
 					}
+					depthN.Add(1)
 				}
 				if cfg.VerifyEvery > 0 && n > 0 && n%uint32(cfg.VerifyEvery) == 0 {
 					off := writes[0].Off
@@ -335,7 +390,11 @@ func RunLoad(cfg LoadConfig) (LoadResult, *Model, error) {
 		Sent:     sent.Load(), Acked: acked.Load(), Failed: failed.Load(),
 		Deaths: deaths.Load(), Reads: reads.Load(), ReadErrors: readErrs.Load(),
 		P50us: hist.percentile(0.50), P95us: hist.percentile(0.95),
-		P99us: hist.percentile(0.99),
+		P99us:         hist.percentile(0.99),
+		QueueMaxDepth: depthMax.Load(),
+	}
+	if n := depthN.Load(); n > 0 {
+		res.QueueAvgDepth = float64(depthSum.Load()) / float64(n)
 	}
 	if elapsed > 0 {
 		res.CommitsPerS = float64(res.Acked) / elapsed

@@ -34,6 +34,21 @@ type ServerConfig struct {
 	// (default 256).
 	MaxTxnStores int
 	WriteQueue   int
+	// Boot, when non-nil (one entry per shard), seeds each shard from a
+	// promoted replica image instead of recovering from Dir's files: the
+	// image is installed as the shard's arena, its first checkpoint makes
+	// the promoted state durable in Dir, and the shard's shipper serves
+	// the granted epoch so zombie-generation subscribers are fenced.
+	Boot []BootShard
+}
+
+// BootShard is one shard's promoted state: a rolled-back replica image,
+// the transaction sequence its marker word holds, and the fencing epoch
+// the promotion granted.
+type BootShard struct {
+	Img   []byte
+	Seq   uint32
+	Epoch uint32
 }
 
 func (c *ServerConfig) fill() {
@@ -62,6 +77,7 @@ type HostStats struct {
 	KilledDrop   uint64 `json:"killed_drop"`
 	BadFrames    uint64 `json:"bad_frames"`
 	RefusedDrain uint64 `json:"refused_drain"`
+	Migrations   uint64 `json:"migrations"`
 }
 
 // Server is the lvmd daemon: an accept loop feeding per-shard
@@ -80,6 +96,13 @@ type Server struct {
 	acceptWG sync.WaitGroup
 	sessWG   sync.WaitGroup
 
+	// reroute overrides the hash route for migrated segments: segID →
+	// shard index of the current owner. Rebuilt from the directory marks
+	// at boot, updated at each cutover flip.
+	routeMu sync.RWMutex
+	reroute map[uint64]int
+	migMu   sync.Mutex // serializes migrations
+
 	accepted    atomic.Uint64
 	sessionsNow atomic.Int64
 	subscribers atomic.Uint64
@@ -87,15 +110,19 @@ type Server struct {
 	killedDrop  atomic.Uint64
 	badFrames   atomic.Uint64
 	refused     atomic.Uint64
+	migrations  atomic.Uint64
 }
 
 // NewServer recovers (or creates) every shard from cfg.Dir and starts
 // their goroutines. It does not accept connections until Serve.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	cfg.fill()
-	s := &Server{cfg: cfg, sessions: make(map[net.Conn]struct{})}
+	s := &Server{cfg: cfg, sessions: make(map[net.Conn]struct{}), reroute: make(map[uint64]int)}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lvmd: data dir: %w", err)
+	}
+	if cfg.Boot != nil && len(cfg.Boot) != cfg.Shards {
+		return nil, fmt.Errorf("lvmd: %d boot images for %d shards", len(cfg.Boot), cfg.Shards)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		disk, tail, err := openShardFiles(cfg.Dir, i)
@@ -106,10 +133,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.disks, s.tails = append(s.disks, disk), append(s.tails, tail)
 		shCfg := cfg.Shard
 		shCfg.Core.Disk, shCfg.Core.Tail = disk, tail
-		img, info, err := RecoverImage(shCfg.Core, tail)
-		if err != nil {
-			s.closeFiles()
-			return nil, fmt.Errorf("lvmd: shard %d recovery: %w", i, err)
+		var img []byte
+		var info RecoverInfo
+		if cfg.Boot != nil {
+			img, info = cfg.Boot[i].Img, RecoverInfo{Seq: cfg.Boot[i].Seq}
+			shCfg.Ship.Epoch = cfg.Boot[i].Epoch
+		} else {
+			img, info, err = RecoverImage(shCfg.Core, tail)
+			if err != nil {
+				s.closeFiles()
+				return nil, fmt.Errorf("lvmd: shard %d recovery: %w", i, err)
+			}
 		}
 		sh, err := NewShard(i, shCfg, img, info.Seq)
 		if err != nil {
@@ -118,7 +152,69 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 		s.shards, s.info = append(s.shards, sh), append(s.info, info)
 	}
+	if err := s.scanOwnership(); err != nil {
+		s.Drain()
+		return nil, err
+	}
 	return s, nil
+}
+
+// scanOwnership rebuilds the migration route table from the recovered
+// directories and resolves a crash mid-migration: an untombstoned owner
+// always serves; a receiving copy serves — and is activated — only when
+// no owner claims the segment (the source's tombstone committed, which
+// by the cutover's fence order proves this copy is complete).
+func (s *Server) scanOwnership() error {
+	owners := make(map[uint64]int)
+	recv := make(map[uint64]int)
+	for i, sh := range s.shards {
+		var tenants []uint64
+		var receiving map[uint64]bool
+		ran, err := sh.Exec(func(c *ShardCore) bool {
+			tenants = c.Tenants()
+			receiving = make(map[uint64]bool, len(tenants))
+			for _, id := range tenants {
+				receiving[id] = c.Receiving(id)
+			}
+			return false
+		}, s.cfg.StallTimeout)
+		if err != nil || !ran {
+			return fmt.Errorf("lvmd: shard %d ownership scan failed", i)
+		}
+		for _, id := range tenants {
+			if receiving[id] {
+				recv[id] = i
+			} else {
+				owners[id] = i
+			}
+		}
+	}
+	for id, i := range owners {
+		if s.homeShard(id) != i {
+			s.reroute[id] = i
+		}
+	}
+	for id, i := range recv {
+		if _, owned := owners[id]; owned {
+			continue // migration aborted: the copy is inert, the owner serves
+		}
+		sh := s.shards[i]
+		var aerr error
+		ran, err := sh.Exec(func(c *ShardCore) bool {
+			aerr = c.Activate(id)
+			return aerr == nil
+		}, s.cfg.StallTimeout)
+		if err != nil || !ran {
+			return fmt.Errorf("lvmd: shard %d activation failed", i)
+		}
+		if aerr != nil {
+			return fmt.Errorf("lvmd: segment %d activation: %w", id, aerr)
+		}
+		if s.homeShard(id) != i {
+			s.reroute[id] = i
+		}
+	}
+	return nil
 }
 
 func openShardFiles(dir string, i int) (*FileDisk, *TailFile, error) {
@@ -149,17 +245,33 @@ func (s *Server) RecoverInfos() []RecoverInfo { return s.info }
 // Shards reports the shard count.
 func (s *Server) Shards() int { return len(s.shards) }
 
-// shardFor routes a segment ID to its shard (splitmix finalizer — the
-// same hash everywhere, or restarts would scatter tenants).
-func (s *Server) shardFor(segID uint64) *Shard {
+// homeShard is a segment ID's hash home (splitmix finalizer — the same
+// hash everywhere, or restarts would scatter tenants).
+func (s *Server) homeShard(segID uint64) int {
 	h := segID
 	h ^= h >> 30
 	h *= 0xBF58476D1CE4E5B9
 	h ^= h >> 27
 	h *= 0x94D049BB133111EB
 	h ^= h >> 31
-	return s.shards[h%uint64(len(s.shards))]
+	return int(h % uint64(len(s.shards)))
 }
+
+// route resolves a segment ID to its current owner: the migration
+// override if one exists, the hash home otherwise.
+func (s *Server) route(segID uint64) *Shard {
+	s.routeMu.RLock()
+	i, ok := s.reroute[segID]
+	s.routeMu.RUnlock()
+	if ok {
+		return s.shards[i]
+	}
+	return s.shards[s.homeShard(segID)]
+}
+
+// Owner reports the shard index currently serving segID (hash home or
+// migration override) — the `from` a Migrate caller plans around.
+func (s *Server) Owner(segID uint64) int { return s.route(segID).ID }
 
 // Serve accepts client connections until the listener closes (Drain).
 func (s *Server) Serve(ln net.Listener) {
@@ -314,7 +426,7 @@ func (s *Server) handleFrame(conn net.Conn, typ byte, payload []byte,
 			send(logship.FrameOpenResp, encodeOpenResp(openResp{segID: segID, status: StatusDraining}))
 			return nil
 		}
-		sh := s.shardFor(segID)
+		sh := s.route(segID)
 		if !sh.submit(shardOp{kind: opOpen, segID: segID, t0: time.Now(), reply: send}, s.stall()) {
 			return s.overloaded(conn)
 		}
@@ -344,7 +456,7 @@ func (s *Server) handleFrame(conn net.Conn, typ byte, payload []byte,
 				segID: cr.segID, clientSeq: cr.clientSeq, status: StatusDraining}))
 			return nil
 		}
-		sh := s.shardFor(cr.segID)
+		sh := s.route(cr.segID)
 		if !sh.submit(shardOp{kind: opCommit, segID: cr.segID, writes: writes,
 			clientSeq: cr.clientSeq, t0: time.Now(), reply: send}, s.stall()) {
 			return s.overloaded(conn)
@@ -355,7 +467,7 @@ func (s *Server) handleFrame(conn net.Conn, typ byte, payload []byte,
 			s.badFrames.Add(1)
 			return err
 		}
-		sh := s.shardFor(rr.segID)
+		sh := s.route(rr.segID)
 		if !sh.submit(shardOp{kind: opRead, segID: rr.segID, off: rr.off, n: rr.n,
 			t0: time.Now(), reply: send}, s.stall()) {
 			return s.overloaded(conn)
@@ -396,6 +508,7 @@ func (s *Server) Stats() HostStats {
 		KilledDrop:   s.killedDrop.Load(),
 		BadFrames:    s.badFrames.Load(),
 		RefusedDrain: s.refused.Load(),
+		Migrations:   s.migrations.Load(),
 	}
 }
 

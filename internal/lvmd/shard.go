@@ -16,6 +16,9 @@ const (
 	opOpen opKind = iota
 	opCommit
 	opRead
+	// opFunc runs an arbitrary function on the shard goroutine behind the
+	// batch fence — the migration driver's doorway into a live core.
+	opFunc
 )
 
 // shardOp is one client request routed to a shard's single-writer
@@ -29,6 +32,9 @@ type shardOp struct {
 	off, n    uint32
 	t0        time.Time
 	reply     func(typ byte, payload []byte)
+	// fn is the opFunc body; it reports whether it mutated the core (so
+	// the batch fence runs before its reply).
+	fn func(c *ShardCore) bool
 }
 
 // ShardConfig tunes one serving shard.
@@ -40,6 +46,13 @@ type ShardConfig struct {
 	MaxBatch   int
 	// Ship tunes the shard's replication shipper.
 	Ship logship.Config
+	// SyncReplicas makes the batch fence wait (up to SyncWait, default 2s)
+	// for every subscriber to ack the sealed sequence before the batch is
+	// acknowledged — acked therefore implies replicated, so a failover at
+	// the acked watermark loses nothing. A subscriber that cannot keep up
+	// is dropped rather than allowed to stall commits forever.
+	SyncReplicas bool
+	SyncWait     time.Duration
 }
 
 func (c *ShardConfig) fill() {
@@ -48,6 +61,9 @@ func (c *ShardConfig) fill() {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
+	}
+	if c.SyncWait <= 0 {
+		c.SyncWait = 2 * time.Second
 	}
 }
 
@@ -83,6 +99,21 @@ func NewShard(id int, cfg ShardConfig, img []byte, seq uint32) (*Shard, error) {
 		cfg:  cfg,
 		ops:  make(chan shardOp, cfg.QueueDepth),
 		done: make(chan struct{}),
+	}
+	// A recovered arena (slot directory + tenant data) precedes anything
+	// in the truncated hardware log, so the shipper's logical cursor must
+	// start past it: a fresh subscriber is then caught up by snapshot
+	// instead of a log replay that never contained the pre-existing
+	// state. The checkpoint generation doubles as the default epoch —
+	// compact.New resumes it across boots, so each restart renumbers the
+	// stream and subscribers of an earlier boot full-resync rather than
+	// resume against a renumbered log. An explicit cfg.Ship.Epoch (a
+	// promotion grant) wins over the generation.
+	if cfg.Ship.StartSeq == 0 && seq != 0 {
+		cfg.Ship.StartSeq = uint64(seq)
+	}
+	if cfg.Ship.Epoch == 0 && c.Mgr.Seq() > 0 {
+		cfg.Ship.Epoch = c.Mgr.Seq()
 	}
 	ln, _ := logship.NewMemTransport()
 	s.shipLn = ln
@@ -186,6 +217,8 @@ func (s *Shard) process(batch []shardOp) {
 			switch {
 			case err == ErrNoSlot:
 				resp.status = StatusNoSlot
+			case err == ErrMoved:
+				resp.status = StatusMoved
 			case err != nil:
 				resp.status = StatusBad
 			default:
@@ -197,18 +230,26 @@ func (s *Shard) process(batch []shardOp) {
 		case opCommit:
 			seq, err := c.Commit(op.segID, op.writes)
 			resp := commitResp{segID: op.segID, clientSeq: op.clientSeq, shardSeq: seq}
-			if err != nil {
+			switch {
+			case err == ErrMoved:
+				resp.status = StatusMoved
+			case err != nil:
 				if _, known := c.Lookup(op.segID); !known {
 					resp.status = StatusUnknown
 				} else {
 					resp.status = StatusBad
 				}
-			} else {
+			default:
 				mutated = true
 			}
 			out = append(out, staged{typ: logship.FrameCommitResp, payload: encodeCommitResp(resp),
 				t0: op.t0, commit: resp.status == StatusOK, reply: op.reply})
 		case opRead:
+			out = append(out, staged{t0: op.t0, reply: op.reply})
+		case opFunc:
+			if op.fn(c) {
+				mutated = true
+			}
 			out = append(out, staged{t0: op.t0, reply: op.reply})
 		}
 	}
@@ -221,6 +262,14 @@ func (s *Shard) process(batch []shardOp) {
 		// Shipping trouble does not gate client durability — the tail
 		// fsync above already happened; consumers redial and resync.
 		_ = s.Shipper.FlushAll() //errgate:ok — replication is advisory for client acks
+		if s.cfg.SyncReplicas {
+			sealed := s.Shipper.SealedSeq()
+			if err := s.Shipper.WaitAcked(sealed, s.cfg.SyncWait); err != nil {
+				// A replica that can't keep up loses its seat, not the
+				// clients their throughput.
+				s.Shipper.DropLaggards(sealed)
+			}
+		}
 	}
 	// Reads run after the fence: a client that commits then reads (even
 	// on another connection) sees its acked writes.
@@ -230,7 +279,11 @@ func (s *Shard) process(batch []shardOp) {
 		}
 		data, err := c.Read(op.segID, op.off, op.n)
 		resp := readResp{segID: op.segID, off: op.off, data: data}
-		if err != nil {
+		switch {
+		case err == ErrMoved:
+			resp.status = StatusMoved
+			resp.data = nil
+		case err != nil:
 			if _, known := c.Lookup(op.segID); !known {
 				resp.status = StatusUnknown
 			} else {
@@ -264,6 +317,8 @@ func (s *Shard) refuse(op shardOp, status byte) staged {
 	case opCommit:
 		return staged{typ: logship.FrameCommitResp, t0: op.t0, reply: op.reply,
 			payload: encodeCommitResp(commitResp{segID: op.segID, clientSeq: op.clientSeq, status: status})}
+	case opFunc:
+		return staged{t0: op.t0, reply: op.reply}
 	default:
 		return staged{typ: logship.FrameReadResp, t0: op.t0, reply: op.reply,
 			payload: encodeReadResp(readResp{segID: op.segID, off: op.off, status: status})}
@@ -319,3 +374,24 @@ func (s *Shard) Digest() [32]byte { return s.digest }
 
 // Adopt hands a subscriber connection to the shard's shipper.
 func (s *Shard) Adopt(conn net.Conn) { s.Shipper.Adopt(conn) }
+
+// Exec runs fn on the shard goroutine and returns once it (and, if it
+// mutated the core, the batch durability fence behind it) completed.
+// ok=false means the shard refused it (failed or draining). This is the
+// migration driver's phase primitive: each phase is one Exec, so phase
+// ordering is fence ordering.
+func (s *Shard) Exec(fn func(c *ShardCore) bool, stall time.Duration) (bool, error) {
+	done := make(chan struct{})
+	ran := false
+	op := shardOp{
+		kind:  opFunc,
+		t0:    time.Now(),
+		fn:    func(c *ShardCore) bool { ran = true; return fn(c) },
+		reply: func(byte, []byte) { close(done) },
+	}
+	if !s.submit(op, stall) {
+		return false, fmt.Errorf("lvmd: shard %d queue full", s.ID)
+	}
+	<-done
+	return ran, nil
+}

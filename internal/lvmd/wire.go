@@ -25,6 +25,7 @@ package lvmd
 
 import (
 	"fmt"
+	"net"
 
 	"lvm/internal/logship"
 )
@@ -36,6 +37,7 @@ const (
 	StatusBad      = byte(2) // malformed or out-of-range request
 	StatusDraining = byte(3) // server is shutting down
 	StatusUnknown  = byte(4) // segment was never opened on this connection
+	StatusMoved    = byte(5) // segment migrated (or is mid-cutover): re-resolve and retry
 )
 
 func put32(b []byte, v uint32) {
@@ -236,6 +238,25 @@ func encodeSubscribe(shard uint32) []byte {
 	b := make([]byte, 4)
 	put32(b, shard)
 	return b
+}
+
+// SubscribeDialer wraps a client-port dialer into a replication dialer
+// for one shard: each connection opens with a subscribe frame, after
+// which the server hands the socket to that shard's shipper and the
+// logship handshake proceeds as usual. This is how a standby daemon
+// follows a primary — one subscribed replica per shard.
+func SubscribeDialer(dial logship.DialFunc, shard uint32) logship.DialFunc {
+	return func() (net.Conn, error) {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := conn.Write(logship.EncodeFrame(logship.FrameSubscribe, encodeSubscribe(shard))); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		return conn, nil
+	}
 }
 
 func decodeSubscribe(p []byte) (uint32, error) {

@@ -3,9 +3,10 @@
 # a CI artifact) and enforce a 60% statement-coverage floor on the
 # packages this repository's claims lean on hardest: internal/metrics
 # (the observability layer), internal/compact (checkpointed log
-# truncation — the bounded-recovery story), and internal/lvmd (the
-# serving daemon and its durable recovery files). Other packages are
-# profiled but not gated.
+# truncation — the bounded-recovery story), internal/lvmd (the serving
+# daemon and its durable recovery files), and internal/logship (the
+# replication stream the failover story promotes from). Other packages
+# are profiled but not gated.
 #
 # Usage: scripts/covergate.sh [profile-out]
 set -eu
@@ -17,7 +18,7 @@ cd "$repo_root"
 go test -count=1 -coverprofile="$profile" -coverpkg=./... ./...
 
 fail=0
-for pkg in internal/metrics internal/compact internal/lvmd; do
+for pkg in internal/metrics internal/compact internal/lvmd internal/logship; do
     cov=$(go tool cover -func="$profile" |
         awk -v p="^lvm/$pkg/" '$1 ~ p { sub(/%/, "", $3); sum += $3; n++ }
              END { if (n == 0) { print "0" } else { printf "%.1f", sum / n } }')

@@ -10,9 +10,15 @@
 #   SIGKILL mid-serve, restart, and replay the acked-write model against
 #   the recovered server — every acknowledged commit must read back.
 #
+#   Phase C (failover): restart with -sync-replicas, attach a standby
+#   daemon following every shard, load, SIGKILL the primary, promote the
+#   standby (SIGUSR1) at its acked watermarks, and replay the acked-write
+#   model against the promoted daemon — sync replication means the
+#   standby holds every acknowledged commit, so zero mismatches.
+#
 # Usage: scripts/soak.sh [out-dir]
 # Env: SOAK_CLIENTS (1000), SOAK_SEGMENTS (64), SOAK_DURATION (10s),
-#      SOAK_SHARDS (8), SOAK_ADDR (127.0.0.1:7423)
+#      SOAK_SHARDS (8), SOAK_ADDR (127.0.0.1:7423), SOAK_ADDR2 (127.0.0.1:7424)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -24,8 +30,10 @@ segments="${SOAK_SEGMENTS:-64}"
 duration="${SOAK_DURATION:-10s}"
 shards="${SOAK_SHARDS:-8}"
 addr="${SOAK_ADDR:-127.0.0.1:7423}"
+addr2="${SOAK_ADDR2:-127.0.0.1:7424}"
 work=$(mktemp -d)
 data="$work/data"
+data2="$work/standby"
 mkdir -p "$out"
 
 # A thousand sockets on each side wants headroom over the usual 1024.
@@ -35,31 +43,42 @@ go build -o "$work/lvmd" ./cmd/lvmd
 go build -o "$work/lvmload" ./cmd/lvmload
 
 lvmd_pid=""
+standby_pid=""
 cleanup() {
     [ -n "$lvmd_pid" ] && kill -9 "$lvmd_pid" 2>/dev/null || true
+    [ -n "$standby_pid" ] && kill -9 "$standby_pid" 2>/dev/null || true
     rm -rf "$work"
 }
 trap cleanup EXIT
 
-# start_lvmd LOGFILE: launch the daemon and wait until it serves.
-start_lvmd() {
-    "$work/lvmd" -addr "$addr" -dir "$data" -shards "$shards" >"$1" 2>&1 &
-    lvmd_pid=$!
+# wait_log LOGFILE PATTERN PID: poll until the pattern appears in the
+# log, failing fast if the process died first.
+wait_log() {
     i=0
-    until grep -q "serving on" "$1" 2>/dev/null; do
+    until grep -q "$2" "$1" 2>/dev/null; do
         i=$((i + 1))
         if [ "$i" -gt 600 ]; then
-            echo "soak: lvmd did not become ready; log:" >&2
+            echo "soak: timed out waiting for \"$2\"; log:" >&2
             cat "$1" >&2
             exit 1
         fi
-        if ! kill -0 "$lvmd_pid" 2>/dev/null; then
-            echo "soak: lvmd exited during startup; log:" >&2
+        if ! kill -0 "$3" 2>/dev/null; then
+            echo "soak: process exited before \"$2\"; log:" >&2
             cat "$1" >&2
             exit 1
         fi
         sleep 0.1
     done
+}
+
+# start_lvmd LOGFILE [extra flags...]: launch the daemon and wait until
+# it serves.
+start_lvmd() {
+    log="$1"
+    shift
+    "$work/lvmd" -addr "$addr" -dir "$data" -shards "$shards" "$@" >"$log" 2>&1 &
+    lvmd_pid=$!
+    wait_log "$log" "serving on" "$lvmd_pid"
 }
 
 echo "soak: phase A — load, SIGTERM, checkpoint-on-drain"
@@ -94,5 +113,31 @@ wait "$lvmd_pid" || { echo "soak: final drain failed" >&2; exit 1; }
 lvmd_pid=""
 cp "$data/manifest.json" "$out/manifest-final.json"
 "$work/lvmd" -dir "$data" -shards "$shards" -check
+
+echo "soak: phase C — sync-replicated primary, SIGKILL, promote standby, replay"
+start_lvmd "$out/lvmd-d.log" -sync-replicas
+"$work/lvmd" -standby -upstream "$addr" -addr "$addr2" -dir "$data2" \
+    -shards "$shards" >"$out/standby.log" 2>&1 &
+standby_pid=$!
+wait_log "$out/standby.log" "standby following" "$standby_pid"
+sleep 1 # let every shard replica subscribe before the first fenced ack
+"$work/lvmload" -addr "$addr" -clients "$clients" -segments "$segments" \
+    -duration 3s -strict \
+    -model "$out/model-c.json" -report "$out/report-c.json"
+kill -9 "$lvmd_pid"
+wait "$lvmd_pid" 2>/dev/null || true
+lvmd_pid=""
+
+kill -USR1 "$standby_pid"
+wait_log "$out/standby.log" "serving on" "$standby_pid"
+grep -q "promoted at watermark" "$out/standby.log" \
+    || { echo "soak: standby served without promoting" >&2; exit 1; }
+"$work/lvmload" -addr "$addr2" -replay "$out/model-c.json" -strict
+kill -TERM "$standby_pid"
+wait "$standby_pid" || { echo "soak: promoted drain failed" >&2; exit 1; }
+standby_pid=""
+[ -f "$data2/manifest.json" ] || { echo "soak: no promoted drain manifest" >&2; exit 1; }
+cp "$data2/manifest.json" "$out/manifest-promoted.json"
+"$work/lvmd" -dir "$data2" -shards "$shards" -check
 
 echo "soak: PASS (artifacts in $out)"
