@@ -47,13 +47,14 @@ const Magic = uint32(0x5043564C)
 //	0  u32 magic
 //	4  u32 seq        checkpoint generation, monotonically increasing
 //	8  u32 imgLen     image length in bytes (== Data.Size())
-//	12 u32 reserved
+//	12 u32 epoch      fencing epoch served when the image committed (0 = legacy header)
 //	16 u64 watermark  logical log offset the image covers
 //	24 u64 cutBase    logical offset of physical log byte 0 at commit
 //	32 u32 seal       seq|recovery.MarkerCommit once committed, 0 while open
 const (
 	hdrSeq       = 4
 	hdrImgLen    = 8
+	hdrEpoch     = 12
 	hdrWatermark = 16
 	hdrCutBase   = 24
 	hdrSeal      = 32
@@ -95,6 +96,11 @@ type Options struct {
 	// restarting at zero, so checkpoint watermarks and shipped sequence
 	// numbers stay monotonic across the failover.
 	CutBase uint64
+	// Epoch seeds the fencing epoch stamped into every checkpoint header
+	// (a promotion grant). The committed epoch on disk wins if higher, so
+	// a restart can never re-serve an epoch an earlier incarnation already
+	// fenced past.
+	Epoch uint32
 }
 
 // Stats counts manager activity (mirrored into the compact.* metrics).
@@ -112,6 +118,7 @@ type Manager struct {
 	o   Options
 
 	seq     uint32 // committed checkpoint generation
+	epoch   uint32 // fencing epoch stamped into checkpoint headers
 	cutBase uint64 // logical offset of physical log byte 0
 
 	img     []byte // reusable image buffer
@@ -142,7 +149,7 @@ func New(sys *core.System, o Options) (*Manager, error) {
 	if !o.Log.IsLog() {
 		return nil, errors.New("compact: Options.Log is not a log segment")
 	}
-	m := &Manager{sys: sys, o: o, cutBase: o.CutBase}
+	m := &Manager{sys: sys, o: o, cutBase: o.CutBase, epoch: o.Epoch}
 	if o.Disk != nil {
 		if o.Data == nil {
 			return nil, errors.New("compact: checkpointing needs Options.Data")
@@ -153,6 +160,9 @@ func New(sys *core.System, o Options) (*Manager, error) {
 		}
 		if ok {
 			m.seq = st.seq
+			if st.epoch > m.epoch {
+				m.epoch = st.epoch
+			}
 		}
 	}
 	return m, nil
@@ -160,6 +170,19 @@ func New(sys *core.System, o Options) (*Manager, error) {
 
 // Seq reports the committed checkpoint generation (0 = none).
 func (m *Manager) Seq() uint32 { return m.seq }
+
+// Epoch reports the fencing epoch the next checkpoint will stamp: the
+// maximum of the Options seed and the last committed header's epoch.
+func (m *Manager) Epoch() uint32 { return m.epoch }
+
+// SetEpoch raises the fencing epoch stamped into checkpoint headers.
+// Epochs only move forward: a lower value is ignored, so a caller can
+// never re-serve an epoch a previous incarnation already persisted.
+func (m *Manager) SetEpoch(e uint32) {
+	if e > m.epoch {
+		m.epoch = e
+	}
+}
 
 // CutBase reports the logical log offset of physical byte 0.
 func (m *Manager) CutBase() uint64 { return m.cutBase }
@@ -297,6 +320,7 @@ func (m *Manager) writeCheckpoint(cpu *machine.CPU, watermark, cutBase uint64) e
 	put32(hdr[0:], Magic)
 	put32(hdr[hdrSeq:], seq)
 	put32(hdr[hdrImgLen:], m.o.Data.Size())
+	put32(hdr[hdrEpoch:], m.epoch)
 	put64(hdr[hdrWatermark:], watermark)
 	put64(hdr[hdrCutBase:], cutBase)
 	put32(hdr[hdrSeal:], 0)
@@ -347,6 +371,7 @@ type state struct {
 	slot      uint64
 	seq       uint32
 	imgLen    uint32
+	epoch     uint32
 	watermark uint64
 	cutBase   uint64
 }
@@ -378,6 +403,7 @@ func decodeHeader(slot uint64, hdr []byte) (state, bool) {
 		slot:      slot,
 		seq:       get32(hdr[hdrSeq:]),
 		imgLen:    get32(hdr[hdrImgLen:]),
+		epoch:     get32(hdr[hdrEpoch:]),
 		watermark: get64(hdr[hdrWatermark:]),
 		cutBase:   get64(hdr[hdrCutBase:]),
 	}
@@ -416,6 +442,10 @@ type RecoverResult struct {
 	FromCheckpoint bool
 	Seq            uint32
 	Start          uint32
+	// Epoch is the fencing epoch the committed header carried (0 on a
+	// legacy header or without a checkpoint) — the floor a restarted
+	// primary must serve strictly above.
+	Epoch uint32
 }
 
 // Recover reconstructs Dst after a crash: load the last committed
@@ -441,6 +471,7 @@ func Recover(sys *core.System, o RecoverOptions) (RecoverResult, error) {
 			start = uint32(st.watermark - st.cutBase)
 			rr.FromCheckpoint = true
 			rr.Seq = st.seq
+			rr.Epoch = st.epoch
 		}
 	}
 	rr.Start = start

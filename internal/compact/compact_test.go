@@ -298,6 +298,58 @@ func TestNewResumesCommittedGeneration(t *testing.T) {
 	}
 }
 
+func TestEpochPersistsAcrossCheckpoints(t *testing.T) {
+	sys, seg, ls, p, base, disk, m := rig(t, nil)
+	txn(sys, p, base, 1, map[uint32]uint32{0x100: 11})
+
+	// A manager without a seed stamps epoch 0 — the legacy header shape.
+	if err := m.Checkpoint(p.CPU); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok, _ := loadState(disk, 0); !ok || st.epoch != 0 {
+		t.Fatalf("unseeded header: ok=%v epoch=%d, want committed epoch 0", ok, st.epoch)
+	}
+
+	// A raised epoch (a promotion grant) rides the next checkpoint.
+	m.SetEpoch(40)
+	m.SetEpoch(7) // epochs only move forward
+	if m.Epoch() != 40 {
+		t.Fatalf("SetEpoch regressed to %d", m.Epoch())
+	}
+	if err := m.Checkpoint(p.CPU); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh manager resumes the committed epoch; an Options seed loses
+	// to a higher committed one and wins over a lower one.
+	m2, err := New(sys, Options{Data: seg, Log: ls, Disk: disk, Epoch: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Epoch() != 40 {
+		t.Fatalf("restarted manager resumed epoch %d, want the committed 40", m2.Epoch())
+	}
+	m3, err := New(sys, Options{Data: seg, Log: ls, Disk: disk, Epoch: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Epoch() != 50 {
+		t.Fatalf("seeded manager elected epoch %d, want the higher seed 50", m3.Epoch())
+	}
+
+	// Recover surfaces the committed header's epoch.
+	dst := core.NewNamedSegment(sys, "recovered", segSize, nil)
+	rr, err := Recover(sys, RecoverOptions{
+		Disk: disk, Log: ls, Data: seg, Dst: dst, MarkerLimit: markerLimit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.FromCheckpoint || rr.Epoch != 40 {
+		t.Fatalf("recover reported epoch %d (FromCheckpoint=%v), want 40", rr.Epoch, rr.FromCheckpoint)
+	}
+}
+
 func TestCompactMidTransactionTailReplaysAcrossCut(t *testing.T) {
 	// A shipper ack can land mid-transaction: the retained tail then
 	// starts inside a txn whose commit marker is past the watermark. The

@@ -1,0 +1,132 @@
+package dsm
+
+// Differential and regression tests for the logcursor port of the DSM
+// consumer: the pre-cursor PullN, frozen verbatim, must produce a
+// byte-identical replica on genuine logs, and the one intentional
+// divergence — a pulled record that fails validation now quarantines
+// the stream instead of applying garbage — is pinned here.
+
+import (
+	"bytes"
+	"testing"
+
+	"lvm/internal/core"
+	"lvm/internal/logrec"
+)
+
+// legacyPullN is StreamingConsumer.PullN as it stood before the
+// logcursor unification: no validation, sub-word widening against the
+// replica's own word.
+func legacyPullN(s *StreamingConsumer, max int) int {
+	s.reader.Sync()
+	n := 0
+	for scanned := 0; max < 0 || scanned < max; scanned++ {
+		rec, ok := s.reader.Next()
+		if !ok {
+			break
+		}
+		if rec.Seg != s.prod.seg {
+			continue
+		}
+		s.p.Compute(ApplyWordCycles)
+		w := rec.SegOff &^ 3
+		s.seg.Write32(w, mergeWord(s.seg.Read32(w), rec.SegOff, rec.Value, rec.WriteSize))
+		n++
+	}
+	s.Pulls++
+	s.Entries += uint64(n)
+	s.BytesRecv += uint64(n * EntryBytes)
+	return n
+}
+
+func streamingPair(t *testing.T) (*core.System, *LVMProducer, *StreamingConsumer, *StreamingConsumer) {
+	t.Helper()
+	sys := newSys()
+	p := sys.NewProcess(0, sys.NewAddressSpace())
+	prod, err := NewLVMProducer(sys, p, shared, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := NewStreamingConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), prod, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg, err := NewStreamingConsumer(sys, sys.NewProcess(1, sys.NewAddressSpace()), prod, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, prod, cur, leg
+}
+
+// TestPullMatchesLegacy replays the same producer log through the
+// cursor-based PullN and the frozen legacy loop, in the same bounded
+// increments, and requires byte-identical replicas and counts at every
+// step.
+func TestPullMatchesLegacy(t *testing.T) {
+	_, prod, cur, leg := streamingPair(t)
+
+	step := func(max int) {
+		t.Helper()
+		nc := cur.PullN(max)
+		nl := legacyPullN(leg, max)
+		if nc != nl {
+			t.Fatalf("PullN(%d) = %d, legacy = %d", max, nc, nl)
+		}
+		a := make([]byte, shared)
+		b := make([]byte, shared)
+		cur.ReadInto(0, a)
+		leg.ReadInto(0, b)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("replicas diverged after PullN(%d)", max)
+		}
+	}
+
+	for i := uint32(0); i < 40; i++ {
+		prod.Write((i*52)%shared&^3, 1000+i)
+	}
+	step(10)
+	prod.Write(0x100, 0xAABBCCDD)
+	prod.Write(0x100, 0xDDCCBBAA) // same-word churn
+	step(7)
+	step(-1)
+	// Sub-word writes widen identically.
+	prod.Write(0x200, 0x11223344)
+	step(-1)
+	step(-1) // empty pull
+}
+
+// TestPullQuarantinesInvalidRecord pins the intentional divergence: a
+// corrupt record in the pulled stream (impossible WriteSize) stops the
+// consumer at the damage instead of applying garbage, and further pulls
+// are no-ops.
+func TestPullQuarantinesInvalidRecord(t *testing.T) {
+	sys, prod, cur, leg := streamingPair(t)
+
+	prod.Write(0x100, 1)
+	prod.Write(0x104, 2)
+	prod.Write(0x108, 3)
+	sys.Sync() // land the in-flight records before corrupting them
+	// Corrupt record 1's WriteSize in the log image; the hardware never
+	// emits size 7.
+	prod.LogSegment().RawWrite(1*logrec.Size+8, []byte{7, 0})
+
+	n := cur.PullN(-1)
+	if n != 1 {
+		t.Fatalf("applied %d records, want 1 (before the damage)", n)
+	}
+	if !cur.Quarantined || cur.InvalidRecords != 1 {
+		t.Fatalf("quarantine not reported: %+v", cur)
+	}
+	if cur.Word(0x100) != 1 || cur.Word(0x104) != 0 || cur.Word(0x108) != 0 {
+		t.Fatalf("replica holds post-damage state: %d %d %d",
+			cur.Word(0x100), cur.Word(0x104), cur.Word(0x108))
+	}
+	if cur.PullN(-1) != 0 {
+		t.Fatalf("quarantined consumer kept pulling")
+	}
+	// The legacy loop applied the garbage — that is the bug this pins.
+	legacyPullN(leg, -1)
+	if leg.Word(0x108) == 0 {
+		t.Fatalf("legacy baseline changed; regression test no longer meaningful")
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"lvm/internal/core"
 	"lvm/internal/cycles"
+	"lvm/internal/logcursor"
 )
 
 // Cost model for the software consistency layer.
@@ -218,49 +219,52 @@ func (l *LVMProducer) Write(off uint32, val uint32) {
 }
 
 // Release synchronizes with the log and emits one entry per record since
-// the last release.
+// the last release. The enumeration is the shared logcursor selection
+// walk; the producer reads its own log, so the records are in-domain and
+// the current-word widening below is correct (entries are applied as
+// whole messages, never partially).
 func (l *LVMProducer) Release() (UpdateMsg, ReleaseStats) {
 	start := l.p.Now()
 	l.reader.Sync()
 	var msg UpdateMsg
-	for {
-		rec, ok := l.reader.Next()
-		if !ok {
-			break
-		}
-		if rec.Seg != l.seg {
+	_ = logcursor.EachData(l.reader, l.seg, func(rec core.Record, isData bool) error {
+		if !isData {
 			// Records from other segments sharing this log cost only
 			// the skip, not a full entry build.
 			l.p.Compute(SkipCycles)
-			continue
+			return nil
 		}
 		l.p.Compute(RecordCycles)
 		w := rec.SegOff &^ 3
-		msg.Entries = append(msg.Entries, Entry{Off: w, Val: mergeWord(l.seg.Read32(w), rec)})
-	}
+		msg.Entries = append(msg.Entries, Entry{
+			Off: w,
+			Val: mergeWord(l.seg.Read32(w), rec.SegOff, rec.Value, rec.WriteSize),
+		})
+		return nil
+	})
 	msg.Bytes = MsgHeaderBytes + len(msg.Entries)*EntryBytes
 	st := ReleaseStats{Cycles: l.p.Now() - start, Bytes: msg.Bytes, Entries: len(msg.Entries)}
 	return msg, st
 }
 
-// mergeWord widens a record to its containing word by overlaying the
-// record's value bytes onto prev, the word's contents *before* this
-// write. For a consumer, prev is the replica's current word, so applying
-// a backlog reconstructs each point-in-time value instead of reading the
-// producer segment's current word — which would transiently install
-// values from writes that come later in the log.
-func mergeWord(prev uint32, rec core.Record) uint32 {
+// mergeWord widens a write to its containing word by overlaying the
+// value bytes onto prev, the word's contents *before* this write. For a
+// consumer, prev is the replica's current word, so applying a backlog
+// reconstructs each point-in-time value instead of reading the producer
+// segment's current word — which would transiently install values from
+// writes that come later in the log.
+func mergeWord(prev uint32, off, val uint32, size uint16) uint32 {
 	var mask uint32
-	switch rec.WriteSize {
+	switch size {
 	case 1:
 		mask = 0xFF
 	case 2:
 		mask = 0xFFFF
 	default:
-		return rec.Value
+		return val
 	}
-	shift := (rec.SegOff & 3) * 8
-	return prev&^(mask<<shift) | (rec.Value&mask)<<shift
+	shift := (off & 3) * 8
+	return prev&^(mask<<shift) | (val&mask)<<shift
 }
 
 // Consumer holds a replicated copy and applies update messages.
@@ -374,6 +378,13 @@ type StreamingConsumer struct {
 
 	Pulls   uint64
 	Entries uint64
+
+	// Quarantined: a pulled record failed validation. The consumer stops
+	// consuming — nothing past damage can be trusted to be a real write
+	// — and further pulls are no-ops, the same degrade-don't-panic
+	// posture as crash recovery and the replication replica.
+	Quarantined    bool
+	InvalidRecords int
 }
 
 // NewStreamingConsumer attaches a consumer directly to the producer's log.
@@ -398,21 +409,40 @@ func (s *StreamingConsumer) Pull() int { return s.PullN(-1) }
 // a consumer that lags the producer: the replica must hold point-in-time
 // values, so sub-word records are widened against the replica's own prior
 // contents, never against the producer's (possibly newer) segment.
+//
+// Records cross a trust boundary here (the consumer applies another
+// domain's log), so each one passes the shared logcursor validation; the
+// first invalid record quarantines the stream and ends this consumer's
+// pulling for good.
 func (s *StreamingConsumer) PullN(max int) int {
+	if s.Quarantined {
+		return 0
+	}
 	s.reader.Sync()
 	n := 0
+	w := logcursor.NewWalker(logcursor.Config{
+		View: logcursor.ApplyAll,
+		End:  s.reader.End(),
+		Apply: func(r logcursor.Rec) {
+			s.p.Compute(ApplyWordCycles)
+			wd := r.Off &^ 3
+			s.seg.Write32(wd, mergeWord(s.seg.Read32(wd), r.Off, r.Value, r.Size))
+			n++
+		},
+	})
+	src := logcursor.WrapReader(s.reader, s.prod.seg)
 	for scanned := 0; max < 0 || scanned < max; scanned++ {
-		rec, ok := s.reader.Next()
+		rec, ok := src.Next()
 		if !ok {
 			break
 		}
-		if rec.Seg != s.prod.seg {
-			continue
+		if !w.Feed(rec) {
+			break
 		}
-		s.p.Compute(ApplyWordCycles)
-		w := rec.SegOff &^ 3
-		s.seg.Write32(w, mergeWord(s.seg.Read32(w), rec))
-		n++
+	}
+	if st := w.Finish(); st.Quarantined() {
+		s.Quarantined = true
+		s.InvalidRecords += st.InvalidRecords
 	}
 	s.Pulls++
 	s.Entries += uint64(n)

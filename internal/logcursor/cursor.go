@@ -1,0 +1,263 @@
+// Package logcursor is the single validated cursor over the hardware
+// log's record stream. Four subsystems consume that stream — crash
+// recovery's marker-protocol replay (internal/recovery, sequential and
+// page-partitioned parallel), log-shipping catch-up and replica apply
+// (internal/logship), the DSM consumer (internal/dsm), and compaction's
+// tail replay after checkpoint election (internal/compact) — and every
+// past divergence between their hand-rolled walks has been a shipped
+// bug. The paper's argument (Sections 2.4, 4.5) is that one log is the
+// single source of truth for recovery, replication, and distributed
+// consistency; this package is the one place its records are decoded,
+// validated, bracketed into transactions, and quarantined when damaged.
+//
+// The model is a push-style state machine: a Source yields records as
+// the uniform Rec form (segment offset, value, size, validity), a
+// Walker consumes them under one of two views —
+//
+//   - Committed: marker-word transaction bracketing. A store to the
+//     marker area (offset < MarkerLimit) with MarkerCommit clear opens
+//     a transaction, one with it set commits; records in between are
+//     buffered and applied only at their commit marker, so an
+//     uncommitted tail is discarded rather than half-applied.
+//   - ApplyAll: every valid record applies immediately, markers
+//     included. Replication replicas use this (the replica image keeps
+//     the producer's marker words; rollback is a separate ledger), as
+//     do edge tests that replay raw logs.
+//
+// — and the first record that fails validation quarantines the rest of
+// the stream: nothing past the damage applies, and Stats reports the
+// quarantine anchor and extent. The walker never panics on damaged
+// input; degrade-don't-panic is the contract every consumer inherits.
+package logcursor
+
+// MarkerCommit is the high bit of a marker-word value: set = the store
+// commits the transaction the marker opened.
+const MarkerCommit = uint32(0x8000_0000)
+
+// NoQuarantine is the QuarantinedFrom value when the whole stream
+// walked cleanly.
+const NoQuarantine = ^uint32(0)
+
+// Rec is one log record in the cursor's uniform form: addressed by its
+// offset within the data segment being walked, with validity and
+// segment membership already classified by the Source that yielded it.
+type Rec struct {
+	// Off is the byte offset of the write within the data segment.
+	Off uint32
+	// Value holds the written bytes, little-endian in the low Size bytes.
+	Value uint32
+	// Size is the write size in bytes (1, 2, or 4 when valid).
+	Size uint16
+	// LogOff is the byte offset of the record within the log stream —
+	// the quarantine anchor when this record fails validation.
+	LogOff uint32
+	// Idx is the ordinal of the record within this walk (0-based).
+	Idx int
+	// Valid reports that the record passed validation: a write size the
+	// hardware emits, a size-aligned in-bounds offset, an address that
+	// still resolves, and not a write into a log segment.
+	Valid bool
+	// Data reports that the record resolves to the data segment being
+	// walked (false = it belongs to another segment sharing the log).
+	Data bool
+}
+
+// IsMarker is the canonical marker-word classifier: a whole-word store
+// into the marker area. This is the one rule every consumer shares —
+// recovery's replay brackets transactions with it, and the replication
+// replica's undo ledger tracks begin/commit by it. Sub-word stores into
+// the marker area are NOT markers; in the Committed view the Walker
+// treats them as protocol violations and quarantines (the area is
+// reserved for the protocol, so a partial store there can only be
+// damage). limit == 0 disables marker interpretation entirely.
+func IsMarker(off uint32, size uint16, limit uint32) bool {
+	return off < limit && size == 4
+}
+
+// ValidWrite reports whether (off, size) can describe a real logged
+// write into a segment of segSize bytes: a size the hardware emits, a
+// size-aligned offset, and a range inside the segment. This is the
+// record-validation core shared by crash-recovery replay, the logship
+// replica, and the DSM consumer, all of which quarantine on the first
+// record that fails it.
+func ValidWrite(off uint32, size uint16, segSize uint32) bool {
+	switch size {
+	case 1, 2, 4:
+	default:
+		return false
+	}
+	ws := uint32(size)
+	return off%ws == 0 && off+ws <= segSize
+}
+
+// View selects how the Walker treats transaction bracketing.
+type View uint8
+
+const (
+	// Committed applies only marker-bracketed, committed writes.
+	Committed View = iota
+	// ApplyAll applies every valid record immediately, markers included.
+	ApplyAll
+)
+
+// Config configures one Walker.
+type Config struct {
+	// View selects committed-only or apply-all semantics.
+	View View
+	// MarkerLimit: data offsets below this are marker words driving the
+	// transaction protocol. 0 disables marker interpretation.
+	MarkerLimit uint32
+	// End is the log end offset, used to size the quarantined extent
+	// (QuarantinedBytes = End - quarantine anchor).
+	End uint32
+	// Apply receives each record to apply, in log order. nil = dry run
+	// (validate and count only).
+	Apply func(Rec)
+}
+
+// Stats reports what one walk did and what it could not recover. The
+// field meanings mirror recovery.Result exactly — recovery builds its
+// Result from these counters.
+type Stats struct {
+	Scanned        int // records fed to the walker
+	Applied        int // records handed to Apply
+	Skipped        int // records resolving to other segments
+	Txns           int // committed transactions walked
+	InvalidRecords int // records rejected (0 or 1: the first halts the walk)
+	IncompleteTail int // buffered records discarded (no commit marker / quarantine)
+
+	// QuarantinedFrom/QuarantinedBytes describe the damaged tail: the
+	// stream offset of the first invalid record and the extent from
+	// there to End. QuarantinedFrom == NoQuarantine when clean.
+	QuarantinedFrom  uint32
+	QuarantinedBytes uint32
+
+	// LastSeq is the highest committed transaction sequence number
+	// observed. A commit whose sequence regresses below an earlier one
+	// does not lower it; it increments NonMonotonicCommits instead (a
+	// damaged or replayed-out-of-order log can only have produced it —
+	// genuine commit sequences are monotone).
+	LastSeq             uint32
+	NonMonotonicCommits int
+
+	// Bad is the record that quarantined the walk (zero when clean).
+	Bad Rec
+}
+
+// Quarantined reports whether the walk hit a damaged tail.
+func (s *Stats) Quarantined() bool { return s.QuarantinedFrom != NoQuarantine }
+
+// Walker is the cursor's record-consuming state machine. Feed it
+// records in log order; it validates, brackets transactions, applies
+// per its view, and halts at the first damaged record.
+type Walker struct {
+	cfg    Config
+	st     Stats
+	batch  []Rec
+	halted bool
+}
+
+// NewWalker builds a walker over cfg.
+func NewWalker(cfg Config) *Walker {
+	return &Walker{cfg: cfg, st: Stats{QuarantinedFrom: NoQuarantine}}
+}
+
+// Feed consumes one record. It reports false once the walk has halted
+// (quarantine): the caller must stop feeding and call Finish.
+func (w *Walker) Feed(r Rec) bool {
+	if w.halted {
+		return false
+	}
+	w.st.Scanned++
+	if !r.Valid {
+		return w.quarantine(r)
+	}
+	if !r.Data {
+		w.st.Skipped++
+		return true
+	}
+	if w.cfg.View == Committed && w.cfg.MarkerLimit > 0 && r.Off < w.cfg.MarkerLimit {
+		if r.Size != 4 {
+			// A sub-word store into the marker area is a protocol
+			// violation: no writer emits one, so it can only be damage.
+			// Treating it as a marker (or as data) would corrupt the
+			// transaction bracketing — quarantine instead.
+			return w.quarantine(r)
+		}
+		if r.Value&MarkerCommit != 0 {
+			seq := r.Value &^ MarkerCommit
+			if seq >= w.st.LastSeq {
+				w.st.LastSeq = seq
+			} else {
+				w.st.NonMonotonicCommits++
+			}
+			w.st.Txns++
+			for _, b := range w.batch {
+				w.apply(b)
+			}
+		}
+		// A begin marker after an uncommitted transaction drops that
+		// transaction's buffered writes, same as a commit flush.
+		w.batch = w.batch[:0]
+		return true
+	}
+	if w.cfg.View == ApplyAll {
+		w.apply(r)
+		return true
+	}
+	w.batch = append(w.batch, r)
+	return true
+}
+
+// Finish ends the walk: records still buffered without a commit marker
+// are discarded into IncompleteTail, and the final Stats are returned.
+func (w *Walker) Finish() Stats {
+	if !w.halted {
+		w.st.IncompleteTail += len(w.batch)
+		w.batch = nil
+		w.halted = true
+	}
+	return w.st
+}
+
+// Stats returns the walk counters accumulated so far.
+func (w *Walker) Stats() Stats { return w.st }
+
+func (w *Walker) apply(r Rec) {
+	if w.cfg.Apply != nil {
+		w.cfg.Apply(r)
+	}
+	w.st.Applied++
+}
+
+func (w *Walker) quarantine(r Rec) bool {
+	w.st.InvalidRecords++
+	w.st.QuarantinedFrom = r.LogOff
+	w.st.QuarantinedBytes = w.cfg.End - r.LogOff
+	w.st.IncompleteTail += len(w.batch)
+	w.st.Bad = r
+	w.batch = nil
+	w.halted = true
+	return false
+}
+
+// Source yields successive records of a log stream in write order.
+type Source interface {
+	Next() (Rec, bool)
+}
+
+// Run drives every record of src through w and returns the final stats
+// — the whole cursor in one call for consumers that need no per-record
+// interleaving of their own.
+func Run(src Source, w *Walker) Stats {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if !w.Feed(r) {
+			break
+		}
+	}
+	return w.Finish()
+}

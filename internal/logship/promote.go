@@ -220,7 +220,7 @@ func Takeover(img []byte, g Grant, watermark uint64, ln net.Listener, cfg Takeov
 	ship := NewShipper(sys, seg, ls, ln, shipCfg)
 	mgr, err := compact.New(sys, compact.Options{
 		Data: seg, Log: ls, Disk: cfg.Disk, DiskBase: cfg.DiskBase,
-		Ship: ship, CutBase: watermark * logrec.Size,
+		Ship: ship, CutBase: watermark * logrec.Size, Epoch: g.Epoch,
 	})
 	if err != nil {
 		ship.Close()

@@ -8,6 +8,7 @@ import (
 
 	"lvm/internal/core"
 	"lvm/internal/dsm"
+	"lvm/internal/logcursor"
 	"lvm/internal/logrec"
 	"lvm/internal/recovery"
 )
@@ -282,35 +283,42 @@ func (r *Replica) applySnapshot(c net.Conn, payload []byte) bool {
 	return r.sendAck(c, r.lastSeq)
 }
 
-// applyBatch validates and applies every record of a batch. The first
+// applyBatch validates and applies every record of a batch through the
+// shared logcursor walk (apply-all view: the replica image keeps the
+// producer's marker words; rollback is the undo ledger's job). The first
 // invalid record quarantines the remainder, reports false, and leaves
 // lastSeq untouched so the batch is not acked.
 func (r *Replica) applyBatch(h batchHeader, records []byte) bool {
-	for i := uint32(0); i < h.count; i++ {
-		rec := logrec.Decode(records[i*logrec.Size:])
-		if !recovery.ValidWrite(rec.Addr, rec.WriteSize, r.size) {
-			r.Stats.QuarantinedFrames.Add(1)
-			r.Stats.QuarantinedRecords.Add(uint64(h.count - i))
-			r.err = fmt.Errorf("logship: invalid record %d/%d (off %#x size %d): quarantined",
-				i, h.count, rec.Addr, rec.WriteSize)
-			return false
-		}
-		if r.markerLimit > 0 {
-			r.track(rec)
-		}
-		r.cons.ApplyRecord(rec.Addr, rec.Value, rec.WriteSize)
-		r.Stats.RecordsApplied.Add(1)
+	src := logcursor.NewBytesSource(records[:int(h.count)*logrec.Size], r.size)
+	w := logcursor.NewWalker(logcursor.Config{
+		View: logcursor.ApplyAll,
+		End:  src.End(),
+		Apply: func(rec logcursor.Rec) {
+			if r.markerLimit > 0 {
+				r.track(rec)
+			}
+			r.cons.ApplyRecord(rec.Off, rec.Value, rec.Size)
+			r.Stats.RecordsApplied.Add(1)
+		},
+	})
+	if st := logcursor.Run(src, w); st.Quarantined() {
+		r.Stats.QuarantinedFrames.Add(1)
+		r.Stats.QuarantinedRecords.Add(uint64(int(h.count) - st.Bad.Idx))
+		r.err = fmt.Errorf("logship: invalid record %d/%d (off %#x size %d): quarantined",
+			st.Bad.Idx, h.count, st.Bad.Off, st.Bad.Size)
+		return false
 	}
 	r.Stats.BatchesApplied.Add(1)
 	return true
 }
 
-// track maintains the undo ledger across one record. The marker word at
-// offset 0 opens (begin: seq, commit bit clear) and closes (commit:
-// seq|MarkerCommit) transactions; while one is open, every word about to
-// be overwritten is saved first.
-func (r *Replica) track(rec logrec.Record) {
-	if rec.Addr == 0 && rec.WriteSize == 4 {
+// track maintains the undo ledger across one record. A whole-word store
+// into the marker area (logcursor.IsMarker — the same classifier the
+// recovery replay brackets transactions with) opens (begin: seq, commit
+// bit clear) and closes (commit: seq|MarkerCommit) transactions; while
+// one is open, every word about to be overwritten is saved first.
+func (r *Replica) track(rec logcursor.Rec) {
+	if logcursor.IsMarker(rec.Off, rec.Size, r.markerLimit) {
 		if rec.Value&recovery.MarkerCommit != 0 {
 			// Commit marker: the transaction is whole on this replica.
 			r.undo = r.undo[:0]
@@ -319,7 +327,7 @@ func (r *Replica) track(rec logrec.Record) {
 			return
 		}
 		// Begin marker: root a fresh ledger at the pre-begin marker word.
-		r.undo = append(r.undo[:0], undoWord{0, r.cons.Word(0)})
+		r.undo = append(r.undo[:0], undoWord{rec.Off, r.cons.Word(rec.Off)})
 		r.inflight = true
 		r.inflightUnknown = false
 		return
@@ -327,7 +335,7 @@ func (r *Replica) track(rec logrec.Record) {
 	if !r.inflight {
 		return
 	}
-	for w := rec.Addr &^ 3; w < rec.Addr+uint32(rec.WriteSize); w += 4 {
+	for w := rec.Off &^ 3; w < rec.Off+uint32(rec.Size); w += 4 {
 		r.undo = append(r.undo, undoWord{w, r.cons.Word(w)})
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lvm/internal/core"
+	"lvm/internal/logcursor"
 	"lvm/internal/logrec"
 )
 
@@ -336,24 +337,21 @@ func (s *Shipper) Flush() error {
 	}
 	s.reader.Sync()
 	var scratch [logrec.Size]byte
-	for {
-		rec, ok := s.reader.Next()
-		if !ok {
-			break
-		}
-		if rec.Seg == s.data {
-			// Rewrite the address to a segment offset: replicas cannot
-			// resolve producer physical addresses, and offsets are what
-			// their apply path wants.
-			wire := rec.Record
-			wire.Addr = rec.SegOff
-			wire.Encode(scratch[:])
+	if err := logcursor.EachData(s.reader, s.data, func(rec core.Record, isData bool) error {
+		if isData {
+			// Rewrite the address to a segment offset (logcursor.Wire):
+			// replicas cannot resolve producer physical addresses, and
+			// offsets are what their apply path wants.
+			logcursor.Wire(rec).Encode(scratch[:])
 			s.batch = append(s.batch, scratch[:]...)
 			s.batchCount++
 		}
 		if s.batchCount >= s.cfg.FlushRecords {
 			s.seal()
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	s.seq.Store(s.base.Load() + uint64(s.reader.Offset())/logrec.Size)
 	return nil
@@ -486,21 +484,18 @@ func (s *Shipper) catchUp(c *shipConn) error {
 		records = records[:0]
 		count = 0
 	}
-	for {
-		rec, ok := r.Next()
-		if !ok {
-			break
-		}
-		if rec.Seg == s.data {
-			wire := rec.Record
-			wire.Addr = rec.SegOff
-			wire.Encode(scratch[:])
+	if err := logcursor.EachData(r, s.data, func(rec core.Record, isData bool) error {
+		if isData {
+			logcursor.Wire(rec).Encode(scratch[:])
 			records = append(records, scratch[:]...)
 			count++
 		}
 		if count >= s.cfg.FlushRecords {
 			flush()
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	if count > 0 || base < s.sealedSeq {
 		flush()

@@ -7,6 +7,7 @@ import (
 
 	"lvm/internal/compact"
 	"lvm/internal/core"
+	"lvm/internal/logcursor"
 	"lvm/internal/logrec"
 	"lvm/internal/metrics"
 	"lvm/internal/ramdisk"
@@ -61,6 +62,13 @@ type CoreConfig struct {
 	// recovery. nil runs the shard without cross-process durability (the
 	// crashtest scenario recovers in-process from the surviving log).
 	Tail *TailFile
+	// Epoch, when non-zero, is an explicit fencing epoch from a promotion
+	// grant: the shard serves exactly it. Zero lets NewCore elect one
+	// strictly above both the checkpoint generation and the epoch the
+	// last committed checkpoint persisted, so a restarted shard — even
+	// one that was promoted to a high granted epoch in a previous life —
+	// is never fenced out by replicas floored at that epoch.
+	Epoch uint32
 	// AbsorbWindow/GroupSize/GroupDeadline tune the bus logger once
 	// EnableTuning is called (zero values leave the stage off).
 	AbsorbWindow  int
@@ -250,6 +258,23 @@ func NewCore(cfg CoreConfig, img []byte, seq uint32) (*ShardCore, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Serving-epoch election, before any checkpoint can stamp it: an
+	// explicit grant serves exactly; otherwise advance strictly past both
+	// the committed checkpoint generation and the epoch the last committed
+	// header persisted. A shard promoted to a high granted epoch in a
+	// previous incarnation therefore restarts above it instead of falling
+	// back to the generation and being fenced out by its own replicas.
+	// (Legacy headers read epoch 0, reproducing the old generation-as-
+	// epoch numbering exactly.)
+	if cfg.Epoch != 0 {
+		c.Mgr.SetEpoch(cfg.Epoch)
+	} else {
+		e := c.Mgr.Seq() + 1
+		if pe := c.Mgr.Epoch(); pe >= e {
+			e = pe + 1
+		}
+		c.Mgr.SetEpoch(e)
 	}
 	if cfg.Tail != nil {
 		c.reader = core.NewLogReader(sys, ls)
@@ -449,19 +474,17 @@ func (c *ShardCore) SyncBatch() error {
 	}
 	c.reader.Sync()
 	appended := uint64(0)
-	for {
-		rec, ok := c.reader.Next()
-		if !ok {
-			break
-		}
-		if rec.Seg != c.Arena {
+	err := logcursor.EachData(c.reader, c.Arena, func(rec core.Record, isData bool) error {
+		if !isData {
 			return fmt.Errorf("lvmd: log record for foreign segment at offset %d", c.reader.Offset())
 		}
-		wire := rec.Record
-		wire.Addr = rec.SegOff
-		wire.Encode(c.scratch[:])
+		logcursor.Wire(rec).Encode(c.scratch[:])
 		c.cfg.Tail.Append(c.scratch[:])
 		appended += logrec.Size
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if err := c.cfg.Tail.Flush(); err != nil {
 		return err

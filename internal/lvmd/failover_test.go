@@ -114,6 +114,86 @@ func TestPromoteFromRecoveredPrimary(t *testing.T) {
 	srv2.Drain()
 }
 
+// TestPromotedEpochSurvivesRestart pins the promoted-epoch restart
+// fence-out fix. A daemon booted from a promotion grant serves the
+// granted epoch E — typically far above its checkpoint generation. The
+// old code derived a restarted daemon's epoch from the generation
+// alone, so after a drain and restart (no Boot) the daemon came back
+// BELOW E and every standby replica floored at E refused it as a
+// zombie (ErrFenced), permanently fencing out the legitimate primary.
+// Now the grant is stamped into the checkpoint header and a restart
+// elects strictly past it.
+func TestPromotedEpochSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	core := CoreConfig{Slots: 16, SlotSize: 512, LogPages: 32}
+	const granted = uint32(40) // far above any checkpoint generation here
+	arena, err := core.ArenaSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot from a promotion: a (blank) promoted image under grant epoch E.
+	srv, err := NewServer(ServerConfig{
+		Dir: dir, Shards: 1,
+		Shard:        ShardConfig{Core: core},
+		StallTimeout: 2 * time.Second,
+		Boot:         []BootShard{{Img: make([]byte, arena), Seq: 0, Epoch: granted}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := srv.shards[0].Shipper.Epoch(); e != granted {
+		t.Fatalf("promoted boot serves epoch %d, granted %d", e, granted)
+	}
+	ln, dial := logship.NewMemTransport()
+	srv.Serve(ln)
+	c, err := DialClient(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(1, []Write{{Off: 0, Val: 0xAB}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	rep := srv.Drain()
+	if got := rep.Shards[0].Epoch; got != granted {
+		t.Fatalf("drain manifest records epoch %d, granted %d", got, granted)
+	}
+
+	// Restart from the daemon's own files, no Boot: the serving epoch
+	// must come back strictly above the grant.
+	srv2, err := NewServer(ServerConfig{
+		Dir: dir, Shards: 1,
+		Shard:        ShardConfig{Core: core},
+		StallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := srv2.shards[0].Shipper.Epoch(); e <= granted {
+		t.Fatalf("restart serves epoch %d, not past granted %d: replicas floored at the grant fence it out", e, granted)
+	}
+	ln2, dial2 := logship.NewMemTransport()
+	srv2.Serve(ln2)
+
+	// A standby replica floored at the granted epoch — one that followed
+	// the promoted daemon before the restart — must resubscribe.
+	r, err := logship.NewReplica(SubscribeDialer(dial2, 0), arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.TrackMarkers(MarkerLimit)
+	r.SetEpoch(granted)
+	if err := r.Connect(); err != nil {
+		t.Fatalf("standby floored at the granted epoch cannot resubscribe: %v", err)
+	}
+	r.Kill()
+	srv2.Drain()
+}
+
 // TestRestartRenumbersShipEpoch pins the cross-boot fencing rule: each
 // recovered boot adopts the checkpoint generation as its shipper epoch,
 // so a subscriber of an earlier boot can never silently resume against

@@ -137,7 +137,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		var info RecoverInfo
 		if cfg.Boot != nil {
 			img, info = cfg.Boot[i].Img, RecoverInfo{Seq: cfg.Boot[i].Seq}
-			shCfg.Ship.Epoch = cfg.Boot[i].Epoch
+			// The grant flows through the core so the post-recovery
+			// checkpoint persists it: a later restart of this daemon (no
+			// Boot) then elects past it instead of falling back to the
+			// checkpoint generation and fencing itself out.
+			shCfg.Core.Epoch = cfg.Boot[i].Epoch
 		} else {
 			img, info, err = RecoverImage(shCfg.Core, tail)
 			if err != nil {
@@ -516,6 +520,7 @@ func (s *Server) Stats() HostStats {
 type ShardReport struct {
 	Digest   string            `json:"digest"`
 	Seq      uint32            `json:"seq"`
+	Epoch    uint32            `json:"epoch"`
 	Segments int               `json:"segments"`
 	Error    string            `json:"error,omitempty"`
 	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
@@ -553,6 +558,7 @@ func (s *Server) Drain() DrainReport {
 		sr := ShardReport{
 			Digest:   hex.EncodeToString(d[:]),
 			Seq:      sh.Core.Seq(),
+			Epoch:    sh.Core.Mgr.Epoch(),
 			Segments: sh.Core.Segments(),
 		}
 		// The shard goroutine is gone: its simulation metrics are safe to

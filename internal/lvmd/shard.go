@@ -104,16 +104,18 @@ func NewShard(id int, cfg ShardConfig, img []byte, seq uint32) (*Shard, error) {
 	// in the truncated hardware log, so the shipper's logical cursor must
 	// start past it: a fresh subscriber is then caught up by snapshot
 	// instead of a log replay that never contained the pre-existing
-	// state. The checkpoint generation doubles as the default epoch —
-	// compact.New resumes it across boots, so each restart renumbers the
-	// stream and subscribers of an earlier boot full-resync rather than
-	// resume against a renumbered log. An explicit cfg.Ship.Epoch (a
-	// promotion grant) wins over the generation.
+	// state. The serving epoch is the core's election (NewCore): a
+	// promotion grant exactly, otherwise strictly past both the resumed
+	// checkpoint generation and the epoch the last committed checkpoint
+	// persisted — so each restart renumbers the stream, subscribers of an
+	// earlier boot full-resync rather than resume against a renumbered
+	// log, and a once-promoted shard is never fenced out by replicas
+	// floored at its granted epoch.
 	if cfg.Ship.StartSeq == 0 && seq != 0 {
 		cfg.Ship.StartSeq = uint64(seq)
 	}
-	if cfg.Ship.Epoch == 0 && c.Mgr.Seq() > 0 {
-		cfg.Ship.Epoch = c.Mgr.Seq()
+	if cfg.Ship.Epoch == 0 {
+		cfg.Ship.Epoch = c.Mgr.Epoch()
 	}
 	ln, _ := logship.NewMemTransport()
 	s.shipLn = ln

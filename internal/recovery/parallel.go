@@ -2,6 +2,7 @@ package recovery
 
 import (
 	"lvm/internal/core"
+	"lvm/internal/logcursor"
 	"lvm/internal/logrec"
 	"lvm/internal/metrics"
 	"lvm/internal/sim"
@@ -18,13 +19,13 @@ import (
 // So the parallel path runs three phases:
 //
 //	A. decode: the record range is cut into one contiguous chunk per
-//	   worker; each worker runs its own core.NewLogReaderAt over a
+//	   worker; each worker runs its own logcursor.MachineSource over a
 //	   quiescent machine (reads only) and fills a preallocated slot per
-//	   record — segment offset, value, size, valid/is-data flags.
-//	B. walk: one sequential pass over the decoded slots replicates the
-//	   marker state machine exactly — same Scanned/Txns/Skipped/
-//	   quarantine accounting as the sequential scan — and routes each
-//	   committed write, in log order, to the partition owning its
+//	   record with the cursor's uniform Rec form.
+//	B. walk: one sequential pass over the decoded slots feeds the SAME
+//	   logcursor.Walker the sequential scan uses — identical Scanned/
+//	   Txns/Skipped/quarantine accounting by construction — and routes
+//	   each committed write, in log order, to the partition owning its
 //	   destination page (page number mod workers).
 //	C. apply: after pre-faulting every touched destination page (frame
 //	   allocation mutates kernel-global state), the partitions are
@@ -32,17 +33,6 @@ import (
 //	   writes never cross a page (size <= 4, size-aligned), and each
 //	   partition preserves log order, so the resulting image is
 //	   byte-identical to the sequential scan's.
-type parRec struct {
-	segOff uint32
-	value  uint32
-	size   uint16
-	flags  uint8
-}
-
-const (
-	prValid uint8 = 1 << iota // passed record validation
-	prData                    // resolves to the Data segment
-)
 
 // applyRec is one committed write routed to a page partition.
 type applyRec struct {
@@ -67,13 +57,13 @@ func replayParallel(sys *core.System, o ReplayOptions) (Result, bool) {
 	}
 
 	// Establish the scan bounds exactly as the sequential path does: one
-	// synced reader, then everything below runs against a quiescent
+	// synced source, then everything below runs against a quiescent
 	// machine.
-	r := core.NewLogReader(sys, o.Log)
+	bounds := logcursor.NewMachineSource(sys, o.Log, o.Data)
 	if o.End != 0 {
-		r.SetEnd(o.End)
+		bounds.SetEnd(o.End)
 	}
-	end := r.End()
+	end := bounds.End()
 	start := o.Start - o.Start%logrec.Size
 	if start > end {
 		start = end
@@ -87,7 +77,7 @@ func replayParallel(sys *core.System, o ReplayOptions) (Result, bool) {
 	}
 
 	// Phase A: parallel decode + validate into preallocated slots.
-	recs := make([]parRec, total)
+	recs := make([]logcursor.Rec, total)
 	chunk := (total + workers - 1) / workers
 	nchunks := (total + chunk - 1) / chunk
 	_, _ = sim.MapWorkers(workers, nchunks, func(ci int) (struct{}, error) {
@@ -96,78 +86,42 @@ func replayParallel(sys *core.System, o ReplayOptions) (Result, bool) {
 		if hi > total {
 			hi = total
 		}
-		rr := core.NewLogReaderAt(sys, o.Log, start+uint32(lo)*logrec.Size, end)
+		src := logcursor.NewMachineSourceAt(sys, o.Log, o.Data,
+			start+uint32(lo)*logrec.Size, end)
 		for i := lo; i < hi; i++ {
-			rec, ok := rr.Next()
+			rec, ok := src.Next()
 			if !ok {
 				break
 			}
-			pr := &recs[i]
-			pr.segOff = rec.SegOff
-			pr.value = rec.Value
-			pr.size = rec.WriteSize
-			if valid(rec) {
-				pr.flags |= prValid
-			}
-			if rec.Seg == o.Data {
-				pr.flags |= prData
-			}
+			rec.Idx = i
+			recs[i] = rec
 		}
 		return struct{}{}, nil
 	})
 
-	// Phase B: sequential marker walk, identical to the in-line state
-	// machine of the sequential Replay, routing committed writes to page
-	// partitions instead of applying them.
+	// Phase B: sequential walk through the shared cursor state machine,
+	// routing committed writes to page partitions instead of applying
+	// them.
 	parts := make([][]applyRec, workers)
-	var batch []applyRec
-	applied := 0
-	route := func(a applyRec) {
-		p := int(a.segOff/core.PageSize) % workers
-		parts[p] = append(parts[p], a)
-		applied++
-	}
+	w := logcursor.NewWalker(logcursor.Config{
+		View:        view(o),
+		MarkerLimit: o.MarkerLimit,
+		End:         end,
+		Apply: func(r logcursor.Rec) {
+			p := int(r.Off/core.PageSize) % workers
+			parts[p] = append(parts[p], applyRec{segOff: r.Off, value: r.Value, size: r.Size})
+		},
+	})
 	for i := 0; i < total; i++ {
-		pr := &recs[i]
-		off := start + uint32(i)*logrec.Size
-		res.Scanned++
-		if pr.flags&prValid == 0 {
-			res.InvalidRecords++
-			sh.Inc(metrics.RecoveryInvalidRecords)
-			res.QuarantinedFrom = off
-			res.QuarantinedBytes = end - off
-			sh.Add(metrics.QuarantinedBytes, uint64(res.QuarantinedBytes))
-			res.IncompleteTail += len(batch)
-			batch = nil
+		// The slot's log offset is positional; recompute it rather than
+		// trusting a possibly-zero slot a phase-A early exit left behind.
+		recs[i].LogOff = start + uint32(i)*logrec.Size
+		if !w.Feed(recs[i]) {
 			break
 		}
-		if pr.flags&prData == 0 {
-			res.Skipped++
-			continue
-		}
-		if !o.ApplyAll && pr.segOff < o.MarkerLimit {
-			if pr.value&MarkerCommit != 0 {
-				res.LastSeq = pr.value &^ MarkerCommit
-				res.Txns++
-				for _, b := range batch {
-					route(b)
-				}
-			}
-			// A begin marker after an uncommitted transaction drops that
-			// transaction's buffered writes, same as a commit flush.
-			batch = batch[:0]
-			continue
-		}
-		a := applyRec{segOff: pr.segOff, value: pr.value, size: pr.size}
-		if o.ApplyAll {
-			route(a)
-		} else {
-			batch = append(batch, a)
-		}
 	}
-	res.IncompleteTail += len(batch)
-	res.Applied = applied
-	sh.Add(metrics.RecoveryRecordsApplied, uint64(applied))
+	fillResult(&res, sh, w.Finish())
+	applied := res.Applied
 
 	// Phase C: parallel apply over disjoint page partitions.
 	if o.Dst != nil && applied > 0 {
@@ -187,17 +141,9 @@ func replayParallel(sys *core.System, o ReplayOptions) (Result, bool) {
 				}
 			}
 		}
-		_, _ = sim.MapWorkers(workers, workers, func(w int) (struct{}, error) {
-			var buf [4]byte
-			for _, a := range parts[w] {
-				n := int(a.size)
-				if n > 4 {
-					n = 4
-				}
-				for b := 0; b < n; b++ {
-					buf[b] = byte(a.value >> (8 * b))
-				}
-				o.Dst.RawWrite(a.segOff, buf[:n])
+		_, _ = sim.MapWorkers(workers, workers, func(wk int) (struct{}, error) {
+			for _, a := range parts[wk] {
+				applyRecTo(o.Dst, a.segOff, a.value, a.size)
 			}
 			return struct{}{}, nil
 		})

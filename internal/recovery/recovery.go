@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"lvm/internal/core"
+	"lvm/internal/logcursor"
 	"lvm/internal/logrec"
 	"lvm/internal/machine"
 	"lvm/internal/metrics"
@@ -25,11 +26,11 @@ import (
 
 // MarkerCommit is the high bit of a marker-word value: set = the store
 // commits the transaction the marker opened.
-const MarkerCommit = uint32(0x8000_0000)
+const MarkerCommit = logcursor.MarkerCommit
 
 // NoQuarantine is the QuarantinedFrom value when the whole log replayed
 // cleanly.
-const NoQuarantine = ^uint32(0)
+const NoQuarantine = logcursor.NoQuarantine
 
 // ReplayOptions configures one replay.
 type ReplayOptions struct {
@@ -83,7 +84,13 @@ type Result struct {
 	QuarantinedBytes uint32
 
 	LostRecords uint64 // hardware-counted records lost before the crash
-	LastSeq     uint32 // last committed transaction sequence number
+
+	// LastSeq is the highest committed transaction sequence number. A
+	// commit whose sequence regresses below an earlier one (only a
+	// damaged log produces that) does not lower it; it is counted in
+	// NonMonotonicCommits instead.
+	LastSeq             uint32
+	NonMonotonicCommits int
 }
 
 // Quarantined reports whether the replay hit a damaged tail.
@@ -92,6 +99,9 @@ func (r *Result) Quarantined() bool { return r.QuarantinedFrom != NoQuarantine }
 // Replay scans the log and reconstructs data-segment state per the
 // options. It never panics on damaged input: the first record that
 // fails validation ends the scan and quarantines the rest of the log.
+// The scan itself is the shared logcursor walk — recovery contributes
+// only the machine bookkeeping (metrics, lost-record count) and the
+// destination-segment apply.
 func Replay(sys *core.System, o ReplayOptions) Result {
 	if o.Workers > 1 {
 		if res, ok := replayParallel(sys, o); ok {
@@ -105,110 +115,84 @@ func Replay(sys *core.System, o ReplayOptions) Result {
 		res.LostRecords = sys.K.Log.RecordsLost
 	}
 
-	r := core.NewLogReader(sys, o.Log)
+	src := logcursor.NewMachineSource(sys, o.Log, o.Data)
 	if o.End != 0 {
-		r.SetEnd(o.End)
+		src.SetEnd(o.End)
 	}
 	if start := o.Start - o.Start%logrec.Size; start > 0 {
-		if start > r.End() {
-			start = r.End()
+		if start > src.End() {
+			start = src.End()
 		}
-		if err := r.Seek(start); err != nil {
+		if err := src.Seek(start); err != nil {
 			// Unreachable (start is record-aligned by construction), but a
 			// misplaced scan must never be papered over: replay nothing and
 			// report the whole range as an unrecovered tail.
 			res.QuarantinedFrom = 0
-			res.QuarantinedBytes = r.End()
+			res.QuarantinedBytes = src.End()
 			return res
 		}
 		sh.Add(metrics.RecoverySkippedBytes, uint64(start))
 	}
-	var batch []core.Record
-	for {
-		off := r.Offset()
-		rec, ok := r.Next()
-		if !ok {
-			break
-		}
-		res.Scanned++
-		if !valid(rec) {
-			res.InvalidRecords++
-			sh.Inc(metrics.RecoveryInvalidRecords)
-			res.QuarantinedFrom = off
-			res.QuarantinedBytes = r.End() - off
-			sh.Add(metrics.QuarantinedBytes, uint64(res.QuarantinedBytes))
-			res.IncompleteTail += len(batch)
-			return res
-		}
-		if rec.Seg != o.Data {
-			res.Skipped++
-			continue
-		}
-		if !o.ApplyAll && rec.SegOff < o.MarkerLimit {
-			if rec.Value&MarkerCommit != 0 {
-				res.LastSeq = rec.Value &^ MarkerCommit
-				res.Txns++
-				for _, b := range batch {
-					apply(&res, sh, o.Dst, b)
-				}
-				batch = batch[:0]
-			} else {
-				// A begin marker after an uncommitted transaction drops
-				// that transaction's buffered writes.
-				batch = batch[:0]
+	w := logcursor.NewWalker(logcursor.Config{
+		View:        view(o),
+		MarkerLimit: o.MarkerLimit,
+		End:         src.End(),
+		Apply: func(r logcursor.Rec) {
+			if o.Dst != nil {
+				applyRecTo(o.Dst, r.Off, r.Value, r.Size)
 			}
-			continue
-		}
-		if o.ApplyAll {
-			apply(&res, sh, o.Dst, rec)
-		} else {
-			batch = append(batch, rec)
-		}
-	}
-	res.IncompleteTail += len(batch)
+		},
+	})
+	fillResult(&res, sh, logcursor.Run(src, w))
 	return res
 }
 
-// apply writes one record into dst and accounts for it.
-func apply(res *Result, sh *metrics.Shard, dst *core.Segment, rec core.Record) {
-	if dst != nil {
-		rec.Apply(dst)
+// view maps the replay options onto the cursor's view.
+func view(o ReplayOptions) logcursor.View {
+	if o.ApplyAll {
+		return logcursor.ApplyAll
 	}
-	res.Applied++
-	sh.Inc(metrics.RecoveryRecordsApplied)
+	return logcursor.Committed
 }
 
-// valid rejects records that cannot be real logged writes: a write size
-// the hardware never emits, an address that no longer resolves, a
-// misaligned offset, a range leaving the segment, or a "write" into a
-// log segment (the logger never logs its own log).
-func valid(rec core.Record) bool {
-	if rec.Seg == nil {
-		return false
+// fillResult copies the cursor's walk stats into a Result and charges
+// the recovery metrics.
+func fillResult(res *Result, sh *metrics.Shard, st logcursor.Stats) {
+	res.Scanned = st.Scanned
+	res.Applied = st.Applied
+	res.Skipped = st.Skipped
+	res.Txns = st.Txns
+	res.InvalidRecords = st.InvalidRecords
+	res.IncompleteTail = st.IncompleteTail
+	res.QuarantinedFrom = st.QuarantinedFrom
+	res.QuarantinedBytes = st.QuarantinedBytes
+	res.LastSeq = st.LastSeq
+	res.NonMonotonicCommits = st.NonMonotonicCommits
+	if st.InvalidRecords > 0 {
+		sh.Add(metrics.RecoveryInvalidRecords, uint64(st.InvalidRecords))
+		sh.Add(metrics.QuarantinedBytes, uint64(st.QuarantinedBytes))
 	}
-	if !ValidWrite(rec.SegOff, rec.WriteSize, rec.Seg.Size()) {
-		return false
+	sh.Add(metrics.RecoveryRecordsApplied, uint64(st.Applied))
+}
+
+// applyRecTo writes one record's value bytes into dst.
+func applyRecTo(dst *core.Segment, off, value uint32, size uint16) {
+	var buf [4]byte
+	n := int(size)
+	if n > 4 {
+		n = 4
 	}
-	if rec.Seg.IsLog() {
-		return false
+	for b := 0; b < n; b++ {
+		buf[b] = byte(value >> (8 * b))
 	}
-	return true
+	dst.RawWrite(off, buf[:n])
 }
 
 // ValidWrite reports whether (off, size) can describe a real logged write
-// into a segment of segSize bytes: a size the hardware emits, a
-// size-aligned offset, and a range inside the segment. This is the
-// record-validation core shared by crash-recovery replay and the logship
-// replication replica, which quarantines on the first record that fails
-// it — the same degrade-don't-panic posture as Replay.
+// into a segment of segSize bytes. It is logcursor.ValidWrite, re-exported
+// where the recovery-facing callers historically found it.
 func ValidWrite(off uint32, size uint16, segSize uint32) bool {
-	switch size {
-	case 1, 2, 4:
-	default:
-		return false
-	}
-	ws := uint32(size)
-	return off%ws == 0 && off+ws <= segSize
+	return logcursor.ValidWrite(off, size, segSize)
 }
 
 // Policy bounds the retry loop of a RetryDisk.
