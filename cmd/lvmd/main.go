@@ -25,12 +25,18 @@
 //
 //	lvmd -standby -upstream 127.0.0.1:7420 -addr 127.0.0.1:7421 -dir /var/lib/lvmd-b
 //
-// follows a primary with one subscribed replica per shard. SIGUSR1
-// promotes: every replica rolls back to its last transaction boundary
-// and the promoted images start serving on this daemon's own address,
-// fenced one epoch above the dead primary. With the primary running
-// -sync-replicas (the batch fence waits for replica acks before the
-// commit is acknowledged), the promoted daemon holds every acked write.
+// follows a primary with one subscribed replica per shard. With
+// -lease-ms N on both sides, the primary heartbeats an N-millisecond
+// serving lease down each subscription stream; a standby that sees the
+// lease expire on every shard promotes itself with no operator signal,
+// and a primary that cannot renew (paused, wedged, partitioned) demotes
+// itself and refuses writes. SIGUSR1 still promotes manually (it is
+// deprecated once leases are configured): every replica rolls back to
+// its last transaction boundary and the promoted images start serving
+// on this daemon's own address, fenced one epoch above the dead
+// primary. With the primary running -sync-replicas (the batch fence
+// waits for replica acks before the commit is acknowledged), the
+// promoted daemon holds every acked write.
 package main
 
 import (
@@ -66,6 +72,7 @@ func main() {
 		syncRep  = flag.Bool("sync-replicas", false, "batch fence waits for replica acks: acked implies replicated")
 		standby  = flag.Bool("standby", false, "follow -upstream as a promotable standby")
 		upstream = flag.String("upstream", "", "primary address to follow in -standby mode")
+		leaseMS  = flag.Int("lease-ms", 0, "serving-lease TTL in milliseconds (0 = off): the primary heartbeats it to subscribers and demotes itself if it cannot renew; a standby promotes itself when it expires")
 	)
 	flag.Parse()
 
@@ -90,7 +97,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lvmd: unknown policy %q\n", *policy)
 		os.Exit(2)
 	}
-	shCfg := lvmd.ShardConfig{Core: coreCfg, SyncReplicas: *syncRep}
+	leaseTTL := time.Duration(*leaseMS) * time.Millisecond
+	shCfg := lvmd.ShardConfig{Core: coreCfg, SyncReplicas: *syncRep, LeaseTTL: leaseTTL}
 	serve := func(boot []lvmd.BootShard) int {
 		return serveMain(*addr, *dir, *shards, *slots, shCfg, pol,
 			time.Duration(*stallMS)*time.Millisecond, boot)
@@ -100,7 +108,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lvmd: -standby needs -upstream")
 			os.Exit(2)
 		}
-		os.Exit(runStandby(*upstream, *shards, shCfg, serve))
+		os.Exit(runStandby(*upstream, *shards, shCfg, leaseTTL, os.Stdout, serve))
 	}
 	os.Exit(serve(nil))
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sync"
@@ -9,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"lvm/internal/lease"
 	"lvm/internal/logship"
 	"lvm/internal/lvmd"
 	"lvm/internal/recovery"
@@ -16,71 +19,159 @@ import (
 
 // runStandby follows a primary lvmd: one subscribed marker-tracking
 // replica per shard, kept connected (with the bounded-retry dialer)
-// until a signal arrives. SIGUSR1 promotes — every shard replica is
-// rolled back to its last transaction boundary and promoted at its
-// acked watermark, and the promoted images boot a serving daemon on
-// this process's own address and data directory, fenced one epoch above
-// the dead primary. SIGTERM/SIGINT exits without promoting.
+// until promotion or shutdown. Two things promote:
 //
-// When the primary runs -sync-replicas, an acknowledged commit implies
-// a replicated commit, so the promoted daemon serves every acked write:
-// a saved lvmload model replays against it with zero mismatches.
-func runStandby(upstream string, shards int, shCfg lvmd.ShardConfig, serve func(boot []lvmd.BootShard) int) int {
+//   - Lease expiry (leaseTTL > 0): each replica feeds a lease.Monitor
+//     from the heartbeat frames the primary broadcasts down its
+//     subscription streams. When every shard's lease runs out — the
+//     primary died, wedged, or was partitioned away, and by the lease
+//     rule has already demoted itself — the standby promotes with no
+//     operator involvement. A monitor that never heard a beat never
+//     expires, so a standby that never reached its primary stays down.
+//
+//   - SIGUSR1 (deprecated): the operator signal from the pre-lease era.
+//     It still works — an operator who knows the primary is dead should
+//     not have to wait out a TTL — but with leases configured it earns
+//     a deprecation warning.
+//
+// Promotion rolls every shard replica back to its last transaction
+// boundary and promotes it at its acked watermark; the promoted images
+// boot a serving daemon on this process's own address and data
+// directory, fenced one epoch above the dead primary. With the primary
+// running -sync-replicas, an acknowledged commit implies a replicated
+// commit, so the promoted daemon holds every acked write: a saved
+// lvmload model replays against it with zero mismatches.
+// SIGTERM/SIGINT exits without promoting.
+func runStandby(upstream string, shards int, shCfg lvmd.ShardConfig, leaseTTL time.Duration,
+	out io.Writer, serve func(boot []lvmd.BootShard) int) int {
 	arenaSize, err := shCfg.Core.ArenaSize()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lvmd: %v\n", err)
 		return 1
 	}
 	reps := make([]*logship.Replica, shards)
+	mons := make([]*lease.Monitor, 0, shards)
 	var stop atomic.Bool
+	dialStop := make(chan struct{}) // cancels retry schedules mid-backoff
 	var wg sync.WaitGroup
 	for i := range reps {
-		dial := lvmd.SubscribeDialer(logship.TCPDialer(upstream), uint32(i))
+		dial := lvmd.SubscribeDialer(
+			logship.TCPDialerWith(upstream, logship.RetryConfig{Stop: dialStop}), uint32(i))
 		r, err := logship.NewReplica(dial, arenaSize)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lvmd: shard %d replica: %v\n", i, err)
 			return 1
 		}
 		r.TrackMarkers(lvmd.MarkerLimit)
+		if leaseTTL > 0 {
+			m := lease.NewMonitor(lease.Wall{}, lease.Ticks(leaseTTL))
+			mons = append(mons, m)
+			r.TrackLease(m.Observe)
+		}
 		reps[i] = r
 		wg.Add(1)
 		go func(r *logship.Replica) {
 			defer wg.Done()
 			for !stop.Load() {
 				if err := r.Connect(); err != nil {
-					// TCPDialer already retried with backoff; pause before
+					if errors.Is(err, logship.ErrDialStopped) {
+						return
+					}
+					// The dialer already retried with backoff; pause before
 					// the next round so a dead upstream isn't hammered.
-					time.Sleep(500 * time.Millisecond)
+					select {
+					case <-time.After(500 * time.Millisecond):
+					case <-dialStop:
+						return
+					}
 					continue
 				}
 				if stop.Load() {
 					r.Kill()
 					return
 				}
-				<-r.Done()
+				// The replica is single-owner: only this goroutine may touch
+				// it while connected, so teardown asks (dialStop) and the
+				// Kill happens here rather than from the main goroutine.
+				select {
+				case <-r.Done():
+				case <-dialStop:
+					r.Kill()
+					return
+				}
 			}
 		}(r)
 	}
-	fmt.Printf("lvmd: standby following %s with %d shard replicas\n", upstream, shards)
 
+	// The signal handler is installed before the banner prints, so a test
+	// (or operator script) that waits for the banner may signal safely.
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGUSR1, syscall.SIGTERM, syscall.SIGINT)
-	got := <-sig
-	signal.Stop(sig)
-	stop.Store(true)
-	for _, r := range reps {
-		r.Kill()
+
+	leaseCh := make(chan struct{})
+	watchStop := make(chan struct{})
+	if leaseTTL > 0 {
+		go func() {
+			iv := leaseTTL / 4
+			if iv <= 0 {
+				iv = time.Millisecond
+			}
+			t := time.NewTicker(iv)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					expired := 0
+					for _, m := range mons {
+						// Expired requires heard: promotion arms per shard
+						// only once that shard's primary proved itself on
+						// this very stream.
+						if m.Expired() {
+							expired++
+						}
+					}
+					if expired == len(mons) {
+						close(leaseCh)
+						return
+					}
+				case <-watchStop:
+					return
+				}
+			}
+		}()
+		fmt.Fprintf(out, "lvmd: standby lease detection armed (ttl=%v): expiry promotes automatically\n", leaseTTL)
 	}
+	fmt.Fprintf(out, "lvmd: standby following %s with %d shard replicas\n", upstream, shards)
+
+	var got os.Signal
+	leaseFired := false
+	select {
+	case got = <-sig:
+	case <-leaseCh:
+		leaseFired = true
+	}
+	signal.Stop(sig)
+	close(watchStop)
+	stop.Store(true)
+	close(dialStop)
 	wg.Wait()
-	if got != syscall.SIGUSR1 {
-		fmt.Println("lvmd: standby exiting without promotion")
+
+	switch {
+	case leaseFired:
+		fmt.Fprintln(out, "lvmd: primary lease expired on every shard: promoting automatically")
+	case got == syscall.SIGUSR1:
+		if leaseTTL > 0 {
+			fmt.Fprintln(out, "lvmd: warning: SIGUSR1 promotion is deprecated; a -lease-ms standby promotes itself on lease expiry")
+		}
+	default:
+		fmt.Fprintln(out, "lvmd: standby exiting without promotion")
 		return 0
 	}
 
 	// Promote every shard at its acked watermark. The authority is local:
-	// the operator's promote signal IS the coordination in this topology
-	// (one standby per primary); the grant still bumps the epoch so the
-	// promoted shippers fence zombie-generation subscribers.
+	// the lease expiry (or the operator's signal) IS the coordination in
+	// this topology (one standby per primary); the grant still bumps the
+	// epoch so the promoted shippers fence zombie-generation subscribers.
 	boot := make([]lvmd.BootShard, shards)
 	for i, r := range reps {
 		a := &logship.Authority{Cur: logship.Grant{Epoch: r.Epoch(), Token: 1}}
@@ -94,7 +185,7 @@ func runStandby(upstream string, shards int, shCfg lvmd.ShardConfig, serve func(
 		stamp := seq | recovery.MarkerCommit
 		img[0], img[1], img[2], img[3] = byte(stamp), byte(stamp>>8), byte(stamp>>16), byte(stamp>>24)
 		boot[i] = lvmd.BootShard{Img: img, Seq: seq, Epoch: res.Grant.Epoch}
-		fmt.Printf("lvmd: shard %d promoted at watermark %d (seq=%d epoch=%d rolled=%d)\n",
+		fmt.Fprintf(out, "lvmd: shard %d promoted at watermark %d (seq=%d epoch=%d rolled=%d)\n",
 			i, res.Watermark, seq, res.Grant.Epoch, res.RolledBack)
 	}
 	return serve(boot)

@@ -177,6 +177,20 @@ func templates() []template {
 		// seeds sweep every phase (the scenario never arms an injector).
 		{name: "failover/crash-during-promotion", scenario: "failover", maxBatch: 8,
 			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{CrashAtCycle: seed} }},
+		// Lease-driven failure detection: nobody signals anybody. The
+		// primary dies with an unshipped tail, the manual lease clock runs
+		// out, and the standby's monitor authorizes the promotion — still
+		// killed and resumed at the phase the seed selects. Promotion must
+		// refuse while the lease is current, and the resumed zombie must be
+		// refused with ErrFenced and self-demote.
+		{name: "failover/lease-expiry", scenario: "lease-expiry", maxBatch: 8,
+			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{CrashAtCycle: seed} }},
+		// The pause/partition shape: the primary survives but cannot renew;
+		// the standby promotes at zero loss and the healed primary's own
+		// renewal, grant, and late heartbeat are all refused — exactly one
+		// writable primary throughout.
+		{name: "failover/partition-pause", scenario: "lease-partition", maxBatch: 8,
+			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{CrashAtCycle: seed} }},
 		// Live migration killed at each cut of the cutover fence sequence;
 		// the segment must be recoverable from exactly one side.
 		{name: "lvmd/crash-mid-migration", scenario: "migrate", maxBatch: 8,
@@ -280,6 +294,10 @@ func runScenario(t template, plan fault.Plan, short bool) (outcome, uint64) {
 		return runLvmd(t, plan, short)
 	case "failover":
 		return runFailover(t, plan, short)
+	case "lease-expiry":
+		return runLeaseExpiry(t, plan, short)
+	case "lease-partition":
+		return runLeasePartition(t, plan, short)
 	case "migrate":
 		return runMigrate(t, plan, short)
 	}

@@ -1,0 +1,319 @@
+// Package lease adds automatic failure detection to the failover stack:
+// a serving lease the primary must renew within a bounded interval, and
+// a standby-side monitor that promotes when renewals stop — replacing
+// the operator's SIGUSR1 with the classic lease / fencing-token pattern.
+//
+// A lease grant is just an epoch grant with a deadline. The Authority
+// here wraps logship.Authority: acquiring a lease prepares and commits a
+// fencing grant (bumping the epoch), so the persisted-epoch machinery —
+// ErrFenced on a stale welcome, FencedHellos on a future-epoch hello,
+// the checkpointed serving epoch that survives restart — is what keeps a
+// paused-then-resumed primary from ever splitting the brain. Renewal is
+// cheap and grant-free: the holder broadcasts logship heartbeat frames
+// (logship.Beat) down the same subscription stream that ships log
+// batches, and each standby re-arms its expiry deadline at receipt.
+//
+// The safety argument needs no clock synchronization, only comparable
+// clock *rates*: the holder measures the renewal gap on its own clock
+// and demotes itself when the gap exceeds the TTL, while each observer
+// arms its deadline at its own receipt time plus the same TTL. Receipt
+// necessarily happens after send, so the observer's deadline always
+// expires no earlier (in real time) than the holder's own — by the time
+// a standby promotes, a live-but-partitioned primary has already refused
+// to keep serving. A dead primary trivially stops renewing. Either way,
+// at most one node believes it holds the serving lease.
+//
+// Every component takes an injected Clock in abstract ticks (nanoseconds
+// under the production Wall clock), so crashtest drives expiry
+// deterministically with a Manual clock while the daemons run on wall
+// time.
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lvm/internal/logship"
+)
+
+// Clock is the injected time source, in abstract monotonic ticks. Wall
+// uses nanoseconds; Manual uses whatever the test says. Both sides of a
+// lease must tick in comparable units, never synchronized values.
+type Clock interface {
+	Now() uint64
+}
+
+// Wall is the production clock: wall nanoseconds.
+type Wall struct{}
+
+// Now implements Clock.
+func (Wall) Now() uint64 { return uint64(time.Now().UnixNano()) }
+
+// Ticks converts a duration to Wall-clock lease ticks.
+func Ticks(d time.Duration) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	return uint64(d.Nanoseconds())
+}
+
+// Manual is a settable clock for deterministic tests: time moves only
+// when the test advances it. Safe for concurrent use (the monitor reads
+// it from the replica's consume goroutine).
+type Manual struct {
+	mu  sync.Mutex
+	now uint64
+}
+
+// NewManual returns a manual clock starting at start ticks.
+func NewManual(start uint64) *Manual { return &Manual{now: start} }
+
+// Now implements Clock.
+func (m *Manual) Now() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves the clock forward by d ticks.
+func (m *Manual) Advance(d uint64) {
+	m.mu.Lock()
+	m.now += d
+	m.mu.Unlock()
+}
+
+// Lease errors.
+var (
+	// ErrHeld refuses an acquisition while another holder's lease is
+	// still current.
+	ErrHeld = errors.New("lease: held by another primary")
+	// ErrExpired refuses a renewal past the deadline: the holder must
+	// re-acquire, which bumps the epoch and fences its old grant.
+	ErrExpired = errors.New("lease: expired")
+	// ErrNotHolder refuses a renewal by anyone but the current holder.
+	ErrNotHolder = errors.New("lease: not the holder")
+)
+
+// Authority is the deterministic lease authority: logship's promotion
+// Authority plus a deadline. Exactly one unexpired grant exists at any
+// moment; acquiring after expiry commits a fresh grant through
+// Epochs.CommitGrant, so the new lease and the fencing epoch are the
+// same atomic step. Like logship.Authority it is tiny, single-threaded
+// coordinator state — durable by contract in the crash tests.
+type Authority struct {
+	// Epochs is the underlying fencing-grant authority; its current
+	// grant is the lease's token.
+	Epochs *logship.Authority
+
+	clock   Clock
+	ttl     uint64
+	holder  string
+	expiry  uint64
+	granted bool
+}
+
+// NewAuthority wraps epochs with lease semantics: grants expire ttl
+// ticks after acquisition or last renewal.
+func NewAuthority(epochs *logship.Authority, clock Clock, ttl uint64) *Authority {
+	return &Authority{Epochs: epochs, clock: clock, ttl: ttl}
+}
+
+// Acquire grants holder the serving lease. A first acquisition or one
+// after expiry prepares and commits a fresh fencing grant (epoch bump:
+// the previous holder's grant stops validating here); re-acquiring an
+// unexpired lease by the same holder just pushes the deadline and keeps
+// the grant. Another holder's unexpired lease refuses with ErrHeld.
+func (a *Authority) Acquire(holder string) (logship.Grant, error) {
+	now := a.clock.Now()
+	if a.granted && now <= a.expiry {
+		if a.holder != holder {
+			return logship.Grant{}, fmt.Errorf("%w: %q holds until tick %d", ErrHeld, a.holder, a.expiry)
+		}
+		a.expiry = now + a.ttl
+		return a.Epochs.Cur, nil
+	}
+	a.Epochs.Prepare(holder)
+	g, err := a.Epochs.CommitGrant()
+	if err != nil {
+		return logship.Grant{}, err
+	}
+	a.holder = holder
+	a.expiry = now + a.ttl
+	a.granted = true
+	return g, nil
+}
+
+// Renew pushes the deadline of an unexpired lease. The grant must be
+// current (a superseded grant is a zombie and refuses with ErrNotHolder)
+// and the deadline not yet passed (a late renewal refuses with
+// ErrExpired — the holder must re-Acquire, burning an epoch, so anything
+// it did after the deadline is fenced by its stale grant).
+func (a *Authority) Renew(holder string, g logship.Grant) (uint64, error) {
+	if !a.granted || a.holder != holder || !a.Epochs.Validate(g) {
+		return 0, fmt.Errorf("%w: renewal by %q epoch %d", ErrNotHolder, holder, g.Epoch)
+	}
+	now := a.clock.Now()
+	if now > a.expiry {
+		return 0, fmt.Errorf("%w: deadline tick %d passed at %d", ErrExpired, a.expiry, now)
+	}
+	a.expiry = now + a.ttl
+	return a.expiry, nil
+}
+
+// Expired reports whether no unexpired lease is outstanding.
+func (a *Authority) Expired() bool {
+	return !a.granted || a.clock.Now() > a.expiry
+}
+
+// Holder reports the current holder and whether its lease is unexpired.
+func (a *Authority) Holder() (string, bool) {
+	return a.holder, a.granted && a.clock.Now() <= a.expiry
+}
+
+// AutoPromote is the no-operator promotion rule: run the existing
+// logship.Promote handshake if and only if the serving lease has
+// expired. The grant Promote commits through Epochs is adopted as the
+// candidate's new lease, so detection, fencing, and the new serving
+// grant are one state machine. Idempotent like Promote itself: a crash
+// at any phase leaves the lease expired (adoption is the last step), so
+// running AutoPromote again finishes the job.
+func (a *Authority) AutoPromote(r *logship.Replica, cand string, deadHead uint64, hooks logship.PromoteHooks) (logship.PromoteResult, error) {
+	if !a.Expired() {
+		return logship.PromoteResult{}, fmt.Errorf("%w: refusing automatic promotion of %q", ErrHeld, cand)
+	}
+	res, err := logship.Promote(a.Epochs, r, cand, deadHead, hooks)
+	if err != nil {
+		return res, err
+	}
+	a.holder = cand
+	a.expiry = a.clock.Now() + a.ttl
+	a.granted = true
+	return res, nil
+}
+
+// Holder is the primary-side lease state machine: it turns renewal
+// attempts into heartbeat frames and self-demotes when it cannot prove
+// it renewed in time. Single-goroutine (the shard's run loop).
+type Holder struct {
+	clock Clock
+	ttl   uint64
+	epoch uint32
+	seq   uint64
+	last  uint64
+	lost  bool
+}
+
+// NewHolder starts a held lease for the serving epoch: the grant moment
+// counts as the first renewal.
+func NewHolder(clock Clock, ttl uint64, epoch uint32) *Holder {
+	return &Holder{clock: clock, ttl: ttl, epoch: epoch, last: clock.Now()}
+}
+
+// Renew attempts a renewal. If the gap since the previous renewal
+// exceeded the TTL the lease is lost — observers may already have
+// promoted past us — so the holder demotes permanently (ok=false, every
+// later call refuses too). Otherwise it returns the heartbeat to
+// broadcast: the first beat announces the grant, later ones renew it.
+func (h *Holder) Renew() (b logship.Beat, ok bool) {
+	if h.lost {
+		return logship.Beat{}, false
+	}
+	now := h.clock.Now()
+	if now-h.last > h.ttl {
+		h.lost = true
+		return logship.Beat{}, false
+	}
+	h.last = now
+	h.seq++
+	kind := logship.BeatRenew
+	if h.seq == 1 {
+		kind = logship.BeatGrant
+	}
+	return logship.Beat{Kind: kind, Epoch: h.epoch, Seq: h.seq, TTL: h.ttl}, true
+}
+
+// Lost reports whether the holder missed a renewal and demoted itself.
+func (h *Holder) Lost() bool { return h.lost }
+
+// Beats reports how many heartbeats this holder has issued.
+func (h *Holder) Beats() uint64 { return h.seq }
+
+// Monitor is the standby-side observer: it watches the heartbeat stream
+// off a replica subscription and reports expiry. Observe is called from
+// the replica's consume goroutine while Expired polls from the standby's
+// watcher, so the monitor locks. The deadline arms at *receipt* time
+// plus the TTL — receipt happens after send, so this deadline expires no
+// earlier than the holder's own, which is the whole safety argument.
+type Monitor struct {
+	mu       sync.Mutex
+	clock    Clock
+	ttl      uint64
+	heard    bool
+	deadline uint64
+	epoch    uint32
+	seq      uint64
+	beats    uint64
+	stale    uint64
+}
+
+// NewMonitor builds a monitor expecting renewals within ttl ticks.
+func NewMonitor(clock Clock, ttl uint64) *Monitor {
+	return &Monitor{clock: clock, ttl: ttl}
+}
+
+// Observe feeds one heartbeat. Beats from a superseded epoch are
+// dropped: a zombie ex-primary's heartbeats must never re-arm the
+// deadline of the generation that replaced it.
+func (m *Monitor) Observe(b logship.Beat) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b.Epoch < m.epoch {
+		m.stale++
+		return
+	}
+	m.epoch = b.Epoch
+	m.heard = true
+	m.beats++
+	m.seq = b.Seq
+	m.deadline = m.clock.Now() + b.TTL
+}
+
+// Expired reports whether a once-heard lease has gone unrenewed past its
+// deadline. A monitor that never heard a beat reports false: promotion
+// must not trigger before the primary proved it was alive on this
+// stream.
+func (m *Monitor) Expired() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.heard && m.clock.Now() > m.deadline
+}
+
+// Heard reports whether any heartbeat arrived yet.
+func (m *Monitor) Heard() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.heard
+}
+
+// Epoch reports the highest epoch observed in a heartbeat.
+func (m *Monitor) Epoch() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Beats reports heartbeats accepted; Stale reports zombie beats dropped.
+func (m *Monitor) Beats() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.beats
+}
+
+// Stale reports heartbeats dropped for carrying a superseded epoch.
+func (m *Monitor) Stale() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stale
+}

@@ -47,6 +47,11 @@ type Replica struct {
 	// undo with, so Rollback must refuse until a commit marker closes it.
 	inflightUnknown bool
 
+	// leaseObs, when set by TrackLease, receives every lease heartbeat
+	// frame. Called from the consume goroutine; the observer (typically
+	// a lease.Monitor) must be safe for that.
+	leaseObs func(Beat)
+
 	conn      net.Conn
 	done      chan struct{}
 	connected bool
@@ -94,6 +99,11 @@ type undoWord struct {
 // pre-image of every word the open transaction wrote so Rollback can
 // undo a half-replicated tail. Call while disconnected, before Connect.
 func (r *Replica) TrackMarkers(markerLimit uint32) { r.markerLimit = markerLimit }
+
+// TrackLease routes serving-lease heartbeats (internal/lease) to obs —
+// typically a lease.Monitor's Observe. obs runs on the consume
+// goroutine. Call while disconnected, before Connect.
+func (r *Replica) TrackLease(obs func(Beat)) { r.leaseObs = obs }
 
 // System exposes the replica's simulated machine (for metrics snapshots).
 func (r *Replica) System() *core.System { return r.sys }
@@ -208,6 +218,19 @@ func (r *Replica) consume(c net.Conn) {
 		if typ == typeSnapshot {
 			if !r.applySnapshot(c, payload) {
 				return
+			}
+			continue
+		}
+		if typ == typeLease {
+			b, err := decodeBeat(payload)
+			if err != nil {
+				r.Stats.QuarantinedFrames.Add(1)
+				r.err = err
+				return
+			}
+			r.Stats.BeatsSeen.Add(1)
+			if r.leaseObs != nil {
+				r.leaseObs(b)
 			}
 			continue
 		}

@@ -214,8 +214,17 @@ func (s *Shipper) handshake(c net.Conn) {
 		// The consumer follows a later generation than ours, which means
 		// a promotion happened and we are the zombie ex-primary. Refuse
 		// the session: feeding it would roll the consumer back behind the
-		// promoted timeline. Epochs only move forward.
+		// promoted timeline. Epochs only move forward. The refusal is
+		// loud: a welcome carrying our stale epoch goes out first, so the
+		// consumer classifies this as fencing (ErrFenced) rather than a
+		// dead socket and stops redialing a shipper that will never feed
+		// it.
 		s.Stats.FencedHellos.Add(1)
+		_, _ = c.Write(encodeFrame(typeWelcome, encodeWelcome(welcome{ //errgate:ok — refusal courtesy; the close below is the real act
+			startSeq: h.lastSeq,
+			epoch:    s.epoch.Load(),
+			segSize:  s.data.Size(),
+		})))
 		c.Close()
 		return
 	}
@@ -531,6 +540,32 @@ func (s *Shipper) shipSnapshot(c *shipConn) {
 	}
 	s.Stats.SnapshotsShipped.Add(1)
 	s.Stats.SnapshotBytes.Add(uint64(size))
+}
+
+// Heartbeat broadcasts a serving-lease beat (internal/lease) to every
+// live consumer, admitting joiners first so a standby that subscribed to
+// an idle primary still hears renewals. Delivery is best effort: a full
+// window drops the beat for that consumer (the next renewal covers it)
+// rather than ever stalling the producer on its own liveness signal.
+// Producer thread only.
+func (s *Shipper) Heartbeat(b Beat) error {
+	if err := s.admitJoins(); err != nil {
+		return err
+	}
+	frame := encodeFrame(typeLease, encodeBeat(b))
+	for _, c := range s.conns {
+		if c.dead.Load() {
+			continue
+		}
+		select {
+		case c.ch <- frame:
+			s.Stats.BeatsShipped.Add(1)
+			s.Stats.BytesShipped.Add(uint64(len(frame)))
+		default:
+			s.Stats.BeatsDropped.Add(1)
+		}
+	}
+	return nil
 }
 
 // MinAcked reports the lowest sequence any live consumer has

@@ -29,6 +29,12 @@ type ShipStats struct {
 	// a future epoch — the signature of a zombie ex-primary still serving
 	// after a promotion granted its generation away.
 	FencedHellos atomic.Uint64
+
+	// BeatsShipped counts lease heartbeat frames enqueued (per consumer);
+	// BeatsDropped counts heartbeats skipped because a consumer's window
+	// was full — renewal is best effort, the next beat covers it.
+	BeatsShipped atomic.Uint64
+	BeatsDropped atomic.Uint64
 }
 
 // Collect is a metrics.Collector emitting the shipper's counters.
@@ -45,6 +51,8 @@ func (s *ShipStats) Collect(emit func(name string, v uint64)) {
 	emit("logship.snapshots_shipped", s.SnapshotsShipped.Load())
 	emit("logship.snapshot_bytes", s.SnapshotBytes.Load())
 	emit("logship.fenced_hellos", s.FencedHellos.Load())
+	emit("logship.beats_shipped", s.BeatsShipped.Load())
+	emit("logship.beats_dropped", s.BeatsDropped.Load())
 }
 
 // ReplicaStats are the consumer-side counters, surfaced in the replica
@@ -71,6 +79,10 @@ type ReplicaStats struct {
 	// RolledBack counts words restored by Rollback when a promotion
 	// settles the replica at its last transaction boundary.
 	RolledBack atomic.Uint64
+
+	// BeatsSeen counts lease heartbeat frames received (whether or not a
+	// monitor is tracking them).
+	BeatsSeen atomic.Uint64
 }
 
 // Collect is a metrics.Collector emitting the replica's counters.
@@ -86,4 +98,5 @@ func (s *ReplicaStats) Collect(emit func(name string, v uint64)) {
 	emit("logship.replica_snapshot_bytes", s.SnapshotBytes.Load())
 	emit("logship.replica_fenced", s.Fenced.Load())
 	emit("logship.replica_rolled_back", s.RolledBack.Load())
+	emit("logship.replica_beats_seen", s.BeatsSeen.Load())
 }

@@ -1,6 +1,7 @@
 package logship
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -16,7 +17,14 @@ type DialFunc func() (net.Conn, error)
 // longer than one dial, and a terminal first-dial failure would orphan
 // the replica.
 func TCPDialer(addr string) DialFunc {
-	return RetryDialer(func() (net.Conn, error) { return net.Dial("tcp", addr) }, RetryConfig{})
+	return TCPDialerWith(addr, RetryConfig{})
+}
+
+// TCPDialerWith is TCPDialer with an explicit retry policy — most
+// usefully a Stop channel, so a draining standby abandons its redial
+// schedule promptly.
+func TCPDialerWith(addr string, cfg RetryConfig) DialFunc {
+	return RetryDialer(func() (net.Conn, error) { return net.Dial("tcp", addr) }, cfg)
 }
 
 // RetryConfig tunes RetryDialer.
@@ -30,6 +38,11 @@ type RetryConfig struct {
 	Max  time.Duration
 	// Seed drives the deterministic jitter stream (default 1).
 	Seed uint64
+	// Stop cancels the retry schedule: a closed channel makes the dialer
+	// return ErrDialStopped promptly, even mid-backoff, instead of
+	// sleeping out the remaining schedule. A draining or demoted daemon
+	// closes it so teardown never blocks on a retry budget.
+	Stop <-chan struct{}
 }
 
 func (c *RetryConfig) fill() {
@@ -47,10 +60,15 @@ func (c *RetryConfig) fill() {
 	}
 }
 
+// ErrDialStopped reports a dial canceled by RetryConfig.Stop before a
+// connection was made.
+var ErrDialStopped = errors.New("logship: dial stopped")
+
 // RetryDialer wraps dial with bounded retry: exponential backoff plus up
 // to 50% jitter from a deterministic xorshift stream, so a fleet of
 // replicas redialing a restarted primary spreads out instead of
-// thundering. The returned DialFunc is safe for concurrent use.
+// thundering. Closing cfg.Stop cancels promptly, even mid-backoff. The
+// returned DialFunc is safe for concurrent use.
 func RetryDialer(dial DialFunc, cfg RetryConfig) DialFunc {
 	cfg.fill()
 	var mu sync.Mutex
@@ -72,11 +90,22 @@ func RetryDialer(dial DialFunc, cfg RetryConfig) DialFunc {
 		var lastErr error
 		for i := 0; i < cfg.Attempts; i++ {
 			if i > 0 {
-				time.Sleep(backoff + jitter(backoff))
+				t := time.NewTimer(backoff + jitter(backoff))
+				select {
+				case <-t.C:
+				case <-cfg.Stop:
+					t.Stop()
+					return nil, ErrDialStopped
+				}
 				backoff *= 2
 				if backoff > cfg.Max {
 					backoff = cfg.Max
 				}
+			}
+			select {
+			case <-cfg.Stop:
+				return nil, ErrDialStopped
+			default:
 			}
 			c, err := dial()
 			if err == nil {

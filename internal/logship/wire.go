@@ -15,7 +15,7 @@
 // sequence number after a crash or disconnect — the same
 // degrade-don't-panic posture as internal/recovery.Replay.
 //
-// Wire protocol (version 2, little-endian):
+// Wire protocol (version 3, little-endian):
 //
 //	frame    := magic(4)="LVSH" ver(1) type(1) flags(2) len(4) payload len-bytes crc32(4)
 //	hello    := lastSeq(8) epoch(4) segSize(4)            replica → shipper
@@ -23,6 +23,7 @@
 //	batch    := baseSeq(8) endSeq(8) count(4) count×16-byte records
 //	ack      := seq(8)                                    replica → shipper
 //	snapshot := coverSeq(8) segSize(4) off(4) image-chunk shipper → replica
+//	lease    := kind(1) pad(3) epoch(4) seq(8) ttl(8)     shipper → replica
 //
 // Sequence numbers are logical log-record indices: physical log offset /
 // 16 plus the shipper's compaction base, so they stay monotonic across
@@ -34,6 +35,11 @@
 // a compacted log) receives the producer's current segment image in
 // chunks — covering every record below coverSeq — followed by the live
 // tail, instead of a re-scan of log records the producer no longer has.
+// Version 3 adds the lease frame: the primary's serving-lease heartbeat
+// (internal/lease), broadcast down the same stream as the batches so
+// standbys observe renewals exactly where they observe the data whose
+// authority the lease asserts. Lease frames carry no cursor — consumers
+// that don't track leases skip them like any unknown type.
 // The replica applies chunks raw and acks coverSeq when the final chunk
 // (off+len == segSize) lands; a torn snapshot is never acked, so a
 // reconnect restarts it. Record address fields are rewritten to segment
@@ -55,8 +61,9 @@ const (
 	// Magic is the frame preamble, "LVSH" in little-endian.
 	Magic = uint32(0x4853564C)
 	// Version is the wire protocol version this package speaks (2 added
-	// the snapshot frame for catch-up across log compactions).
-	Version = 2
+	// the snapshot frame for catch-up across log compactions, 3 the
+	// lease heartbeat frame for automatic failure detection).
+	Version = 3
 
 	headerSize = 12
 	crcSize    = 4
@@ -73,6 +80,7 @@ const (
 	typeBatch    = byte(3)
 	typeAck      = byte(4)
 	typeSnapshot = byte(5)
+	typeLease    = byte(6)
 )
 
 // ErrCorrupt marks a frame that failed structural validation: bad magic,
@@ -272,6 +280,48 @@ func decodeSnapshot(p []byte) (snapHeader, []byte, error) {
 			ErrCorrupt, h.off, uint64(h.off)+uint64(len(data)), h.segSize)
 	}
 	return h, data, nil
+}
+
+// Beat is one serving-lease heartbeat (internal/lease): the primary
+// asserting it still holds the lease for Epoch, renewal number Seq, to
+// be re-armed for TTL clock ticks from receipt. TTL is in the lease
+// clock's units (nanoseconds for wall-clocked daemons); sender and
+// receiver clocks need comparable rates, never synchronized values —
+// each side arms its own deadline from its own clock.
+type Beat struct {
+	Kind  byte // BeatGrant or BeatRenew
+	Epoch uint32
+	Seq   uint64
+	TTL   uint64
+}
+
+// Beat kinds: the first heartbeat of a grant announces it, the rest
+// renew it. Observers treat them identically; the kind is diagnostic.
+const (
+	BeatGrant = byte(1)
+	BeatRenew = byte(2)
+)
+
+const beatSize = 24 // kind(1) pad(3) epoch(4) seq(8) ttl(8)
+
+func encodeBeat(b Beat) []byte {
+	p := make([]byte, beatSize)
+	p[0] = b.Kind
+	put32(p[4:], b.Epoch)
+	put64(p[8:], b.Seq)
+	put64(p[16:], b.TTL)
+	return p
+}
+
+func decodeBeat(p []byte) (Beat, error) {
+	if len(p) != beatSize {
+		return Beat{}, fmt.Errorf("%w: lease payload %d bytes", ErrCorrupt, len(p))
+	}
+	b := Beat{Kind: p[0], Epoch: get32(p[4:]), Seq: get64(p[8:]), TTL: get64(p[16:])}
+	if b.Kind != BeatGrant && b.Kind != BeatRenew {
+		return Beat{}, fmt.Errorf("%w: lease kind %d", ErrCorrupt, b.Kind)
+	}
+	return b, nil
 }
 
 // negotiateStart decides where shipping resumes for a replica that said

@@ -51,13 +51,57 @@ func (c *Client) call(typ byte, payload []byte, wantTyp byte) ([]byte, error) {
 // movedRetries bounds how many times a client chases a migrating
 // segment (StatusMoved) before surfacing the error; each retry backs
 // off linearly, so a cutover in progress has time to flip the route.
-const movedRetries = 10
+// movedChaseBudget bounds the chase in wall-clock terms as well — a
+// route that keeps answering Moved (however fast) must not spin the
+// client forever. The budget comfortably exceeds the benchgated
+// stop-and-copy cutover pause, so a healthy migration never trips it.
+const (
+	movedRetries     = 10
+	movedChaseBudget = 2 * time.Second
+)
 
-func movedWait(attempt int) { time.Sleep(time.Duration(attempt+1) * time.Millisecond) }
+// MovedError reports a moved-chase that exhausted its retry or time
+// budget: the segment kept answering StatusMoved. It unwraps to
+// ErrMoved so callers can distinguish routing churn from I/O failure
+// with errors.Is.
+type MovedError struct {
+	Seg      uint64
+	Attempts int
+	Elapsed  time.Duration
+}
+
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("lvmd: segment %d still moving after %d attempts over %v",
+		e.Seg, e.Attempts, e.Elapsed.Round(time.Millisecond))
+}
+
+// Unwrap ties the chase exhaustion to the core's ErrMoved sentinel.
+func (e *MovedError) Unwrap() error { return ErrMoved }
+
+// movedChase tracks one operation's pursuit of a migrating segment.
+type movedChase struct {
+	start    time.Time
+	attempts int
+}
+
+// again backs off linearly and reports nil to retry; an exhausted
+// attempt count or time budget returns the typed MovedError instead.
+func (ch *movedChase) again(seg uint64) error {
+	if ch.attempts == 0 {
+		ch.start = time.Now()
+	}
+	ch.attempts++
+	if ch.attempts > movedRetries || time.Since(ch.start) > movedChaseBudget {
+		return &MovedError{Seg: seg, Attempts: ch.attempts, Elapsed: time.Since(ch.start)}
+	}
+	time.Sleep(time.Duration(ch.attempts) * time.Millisecond)
+	return nil
+}
 
 // Open maps a segment, returning its slot geometry.
 func (c *Client) Open(segID uint64) (slotSize uint32, err error) {
-	for attempt := 0; ; attempt++ {
+	var chase movedChase
+	for {
 		p, err := c.call(logship.FrameOpen, encodeOpen(segID), logship.FrameOpenResp)
 		if err != nil {
 			return 0, err
@@ -66,8 +110,10 @@ func (c *Client) Open(segID uint64) (slotSize uint32, err error) {
 		if err != nil {
 			return 0, err
 		}
-		if resp.status == StatusMoved && attempt < movedRetries {
-			movedWait(attempt)
+		if resp.status == StatusMoved {
+			if err := chase.again(segID); err != nil {
+				return 0, err
+			}
 			continue
 		}
 		if resp.status != StatusOK {
@@ -82,13 +128,16 @@ func (c *Client) Open(segID uint64) (slotSize uint32, err error) {
 // migrating) retries the whole transaction — the moved attempt did not
 // commit — against the server's updated route.
 func (c *Client) Commit(segID uint64, writes []Write) error {
-	for attempt := 0; ; attempt++ {
+	var chase movedChase
+	for {
 		resp, err := c.commitOnce(segID, writes)
 		if err != nil {
 			return err
 		}
-		if resp.status == StatusMoved && attempt < movedRetries {
-			movedWait(attempt)
+		if resp.status == StatusMoved {
+			if err := chase.again(segID); err != nil {
+				return err
+			}
 			continue
 		}
 		if resp.status != StatusOK {
@@ -125,7 +174,8 @@ func (c *Client) commitOnce(segID uint64, writes []Write) (commitResp, error) {
 
 // Read returns committed segment bytes.
 func (c *Client) Read(segID uint64, off, n uint32) ([]byte, error) {
-	for attempt := 0; ; attempt++ {
+	var chase movedChase
+	for {
 		p, err := c.call(logship.FrameRead, encodeRead(readReq{segID: segID, off: off, n: n}),
 			logship.FrameReadResp)
 		if err != nil {
@@ -135,8 +185,10 @@ func (c *Client) Read(segID uint64, off, n uint32) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		if resp.status == StatusMoved && attempt < movedRetries {
-			movedWait(attempt)
+		if resp.status == StatusMoved {
+			if err := chase.again(segID); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		if resp.status != StatusOK {

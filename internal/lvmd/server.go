@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -34,6 +35,14 @@ type ServerConfig struct {
 	// (default 256).
 	MaxTxnStores int
 	WriteQueue   int
+	// IdleTimeout is the per-session read deadline, refreshed before
+	// every frame (default 2 minutes — generous: it exists to reap
+	// half-open and abandoned clients, not to police think time). A
+	// session that sends nothing for this long is disconnected and
+	// counted in HostStats.IdleExpired; without it a dead peer pins a
+	// goroutine and a tracked conn forever — exactly the silent-failure
+	// mode lease detection exists to catch on the serving side.
+	IdleTimeout time.Duration
 	// Boot, when non-nil (one entry per shard), seeds each shard from a
 	// promoted replica image instead of recovering from Dir's files: the
 	// image is installed as the shard's arena, its first checkpoint makes
@@ -64,6 +73,9 @@ func (c *ServerConfig) fill() {
 	if c.WriteQueue <= 0 {
 		c.WriteQueue = 256
 	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
 }
 
 // HostStats are the daemon's host-side counters (the simulated machines'
@@ -78,6 +90,7 @@ type HostStats struct {
 	BadFrames    uint64 `json:"bad_frames"`
 	RefusedDrain uint64 `json:"refused_drain"`
 	Migrations   uint64 `json:"migrations"`
+	IdleExpired  uint64 `json:"idle_expired"`
 }
 
 // Server is the lvmd daemon: an accept loop feeding per-shard
@@ -111,6 +124,7 @@ type Server struct {
 	badFrames   atomic.Uint64
 	refused     atomic.Uint64
 	migrations  atomic.Uint64
+	idleExpired atomic.Uint64
 }
 
 // NewServer recovers (or creates) every shard from cfg.Dir and starts
@@ -326,9 +340,13 @@ func (s *Server) session(conn net.Conn) {
 
 	// The first frame decides the connection's role, and is read
 	// unbuffered: a subscriber handoff must leave the shipper's bytes
-	// (the logship hello that follows) unread on the socket.
+	// (the logship hello that follows) unread on the socket. Every read
+	// sits behind the idle deadline so a half-open or silent client is
+	// reaped instead of pinning this goroutine forever.
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) //errgate:ok — a conn that can't set deadlines fails the read instead
 	typ, payload, err := logship.ReadFrame(conn)
 	if err != nil {
+		s.noteIdle(err)
 		conn.Close()
 		return
 	}
@@ -339,6 +357,9 @@ func (s *Server) session(conn net.Conn) {
 			conn.Close()
 			return
 		}
+		// The shipper paces its own handshake deadline; the session's
+		// idle policy must not leak onto the adopted conn.
+		_ = conn.SetReadDeadline(time.Time{}) //errgate:ok — the shipper re-arms its own deadline
 		s.subscribers.Add(1)
 		s.untrack(conn) // the shipper owns (and will close) it now
 		s.shards[shardID].Adopt(conn)
@@ -397,14 +418,24 @@ func (s *Server) session(conn net.Conn) {
 		if err := s.handleFrame(conn, typ, payload, pending, send); err != nil {
 			break
 		}
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) //errgate:ok — a conn that can't set deadlines fails the read instead
 		typ, payload, err = logship.ReadFrame(r)
 		if err != nil {
+			s.noteIdle(err)
 			break
 		}
 	}
 	conn.Close()
 	close(sessDone)
 	<-writerDone
+}
+
+// noteIdle counts a session read that died on the idle deadline.
+func (s *Server) noteIdle(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.idleExpired.Add(1)
+	}
 }
 
 // stall returns the submit patience for the configured policy.
@@ -513,6 +544,7 @@ func (s *Server) Stats() HostStats {
 		BadFrames:    s.badFrames.Load(),
 		RefusedDrain: s.refused.Load(),
 		Migrations:   s.migrations.Load(),
+		IdleExpired:  s.idleExpired.Load(),
 	}
 }
 
@@ -522,6 +554,7 @@ type ShardReport struct {
 	Seq      uint32            `json:"seq"`
 	Epoch    uint32            `json:"epoch"`
 	Segments int               `json:"segments"`
+	Demoted  bool              `json:"demoted,omitempty"`
 	Error    string            `json:"error,omitempty"`
 	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
 }
@@ -560,6 +593,7 @@ func (s *Server) Drain() DrainReport {
 			Seq:      sh.Core.Seq(),
 			Epoch:    sh.Core.Mgr.Epoch(),
 			Segments: sh.Core.Segments(),
+			Demoted:  sh.Demoted(),
 		}
 		// The shard goroutine is gone: its simulation metrics are safe to
 		// read now.

@@ -3,8 +3,10 @@ package lvmd
 import (
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
+	"lvm/internal/lease"
 	"lvm/internal/logship"
 	"lvm/internal/metrics"
 )
@@ -53,6 +55,18 @@ type ShardConfig struct {
 	// is dropped rather than allowed to stall commits forever.
 	SyncReplicas bool
 	SyncWait     time.Duration
+	// LeaseTTL enables the serving lease (internal/lease): the shard
+	// broadcasts heartbeat frames renewing a lease of this duration down
+	// its subscription stream, and a shard that cannot prove it renewed
+	// in time — paused, wedged, partitioned — demotes itself: writes are
+	// refused with StatusDemoted from then on (reads still serve; the
+	// data is consistent, just no longer authoritative for new writes),
+	// because a standby observing the missed renewal may already have
+	// promoted. 0 disables (the SIGUSR1-era behavior).
+	LeaseTTL time.Duration
+	// LeaseClock injects the lease time source (default lease.Wall) so
+	// tests drive renewal and expiry deterministically.
+	LeaseClock lease.Clock
 }
 
 func (c *ShardConfig) fill() {
@@ -83,6 +97,12 @@ type Shard struct {
 	shipLn net.Listener
 	err    error // set by the run goroutine on a durability failure
 	digest [32]byte
+
+	// holder is the serving-lease state machine (nil when LeaseTTL is
+	// off), touched only by the run goroutine; demoted is the lease-loss
+	// flag, atomic so sessions and Drain can read it.
+	holder  *lease.Holder
+	demoted atomic.Bool
 }
 
 // NewShard boots a shard around an optionally-recovered core (img/seq
@@ -122,6 +142,14 @@ func NewShard(id int, cfg ShardConfig, img []byte, seq uint32) (*Shard, error) {
 	s.Shipper = logship.NewShipper(c.Sys, c.Arena, c.LogSeg, ln, cfg.Ship)
 	c.SetShipper(s.Shipper)
 	c.EnableTuning()
+	if cfg.LeaseTTL > 0 {
+		clk := cfg.LeaseClock
+		if clk == nil {
+			clk = lease.Wall{}
+		}
+		s.holder = lease.NewHolder(clk, lease.Ticks(cfg.LeaseTTL), s.Shipper.Epoch())
+	}
+	s.cfg = cfg // keep the filled Ship/lease values the goroutine reads
 	go s.run()
 	return s, nil
 }
@@ -159,8 +187,31 @@ func (s *Shard) submit(op shardOp, stall time.Duration) bool {
 // one tail fsync covers every commit in the batch.
 func (s *Shard) run() {
 	defer close(s.done)
+	// The heartbeat ticker renews the serving lease roughly four times
+	// per TTL — enough slack that only a genuine stall (not scheduling
+	// noise) misses the deadline. Renewal is a select case, not a
+	// goroutine: the lease belongs to the single-writer loop, so a loop
+	// wedged behind a stuck fence stops renewing, which is exactly the
+	// signal the standbys promote on.
+	var beatC <-chan time.Time
+	if s.holder != nil {
+		iv := s.cfg.LeaseTTL / 4
+		if iv <= 0 {
+			iv = time.Millisecond
+		}
+		tick := time.NewTicker(iv)
+		defer tick.Stop()
+		beatC = tick.C
+	}
 	for {
-		op, ok := <-s.ops
+		var op shardOp
+		var ok bool
+		select {
+		case op, ok = <-s.ops:
+		case <-beatC:
+			s.leaseTick()
+			continue
+		}
 		if !ok {
 			s.drainExit()
 			return
@@ -205,6 +256,15 @@ func (s *Shard) process(batch []shardOp) {
 	for _, op := range batch {
 		if s.err != nil {
 			out = append(out, s.refuse(op, StatusDraining))
+			continue
+		}
+		if s.demoted.Load() && (op.kind == opOpen || op.kind == opCommit) {
+			// Lease lost: a standby may already be the writable primary.
+			// Accepting a write here would fork the timeline the moment
+			// it promoted; refusing is what "exactly one writable
+			// primary" costs. Reads stay up — the data is consistent to
+			// the last acked commit.
+			out = append(out, s.refuse(op, StatusDemoted))
 			continue
 		}
 		switch op.kind {
@@ -309,6 +369,29 @@ func (s *Shard) process(batch []shardOp) {
 	// batch retries. A full log that then loses records fails SyncBatch.
 	_, _ = c.MaybeCompact() //errgate:ok — deferred to the SyncBatch loss check
 }
+
+// leaseTick renews the serving lease and broadcasts the heartbeat. A
+// renewal past the TTL means this shard cannot prove it is still the
+// primary — it demotes itself permanently (until restart) and stops
+// heartbeating, so even if its beats could still reach a standby they
+// would not re-arm a superseded deadline.
+func (s *Shard) leaseTick() {
+	if s.demoted.Load() {
+		return
+	}
+	b, ok := s.holder.Renew()
+	if !ok {
+		s.demoted.Store(true)
+		return
+	}
+	// A heartbeat that fails to broadcast (a joiner's catch-up failed) is
+	// advisory: the next Flush surfaces the same error to the fence.
+	_ = s.Shipper.Heartbeat(b) //errgate:ok — renewal is best effort; the next beat covers it
+}
+
+// Demoted reports whether the shard lost its serving lease and now
+// refuses writes.
+func (s *Shard) Demoted() bool { return s.demoted.Load() }
 
 // refuse stages an error response matching the op's expected frame type.
 func (s *Shard) refuse(op shardOp, status byte) staged {

@@ -38,6 +38,7 @@ const (
 	StatusDraining = byte(3) // server is shutting down
 	StatusUnknown  = byte(4) // segment was never opened on this connection
 	StatusMoved    = byte(5) // segment migrated (or is mid-cutover): re-resolve and retry
+	StatusDemoted  = byte(6) // serving lease lost: writes refused until the host restarts as primary
 )
 
 func put32(b []byte, v uint32) {

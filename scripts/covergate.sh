@@ -5,11 +5,13 @@
 # (the observability layer), internal/compact (checkpointed log
 # truncation — the bounded-recovery story), internal/lvmd (the serving
 # daemon and its durable recovery files), internal/logship (the
-# replication stream the failover story promotes from), and
+# replication stream the failover story promotes from),
 # internal/logcursor (the single validated record cursor every log
 # consumer walks through — held to a higher floor because every one of
 # its branches is a recovery-correctness decision shared by all of
-# them). Other packages are profiled but not gated.
+# them), and internal/lease (the failure-detection state machine — held
+# to the higher floor too, because every branch is a split-brain
+# decision). Other packages are profiled but not gated.
 #
 # Usage: scripts/covergate.sh [profile-out]
 set -eu
@@ -21,7 +23,7 @@ cd "$repo_root"
 go test -count=1 -coverprofile="$profile" -coverpkg=./... ./...
 
 fail=0
-for spec in internal/metrics:60 internal/compact:60 internal/lvmd:60 internal/logship:60 internal/logcursor:85; do
+for spec in internal/metrics:60 internal/compact:60 internal/lvmd:60 internal/logship:60 internal/logcursor:85 internal/lease:85; do
     pkg=${spec%:*}
     floor=${spec##*:}
     cov=$(go tool cover -func="$profile" |

@@ -16,6 +16,11 @@
 #   model against the promoted daemon — sync replication means the
 #   standby holds every acknowledged commit, so zero mismatches.
 #
+#   Phase D (lease failover): same topology but with -lease-ms on both
+#   sides and ZERO operator signals: SIGKILL the primary and the standby
+#   detects the missed lease renewals on its own, promotes itself, and
+#   the acked model replays clean against it.
+#
 # Usage: scripts/soak.sh [out-dir]
 # Env: SOAK_CLIENTS (1000), SOAK_SEGMENTS (64), SOAK_DURATION (10s),
 #      SOAK_SHARDS (8), SOAK_ADDR (127.0.0.1:7423), SOAK_ADDR2 (127.0.0.1:7424)
@@ -34,6 +39,7 @@ addr2="${SOAK_ADDR2:-127.0.0.1:7424}"
 work=$(mktemp -d)
 data="$work/data"
 data2="$work/standby"
+data3="$work/standby-lease"
 mkdir -p "$out"
 
 # A thousand sockets on each side wants headroom over the usual 1024.
@@ -139,5 +145,37 @@ standby_pid=""
 [ -f "$data2/manifest.json" ] || { echo "soak: no promoted drain manifest" >&2; exit 1; }
 cp "$data2/manifest.json" "$out/manifest-promoted.json"
 "$work/lvmd" -dir "$data2" -shards "$shards" -check
+
+echo "soak: phase D — lease failover: SIGKILL primary, standby self-promotes, no signals"
+# A generous TTL keeps a loaded sync-replica fence (which can stall the
+# shard loop up to its ack wait) from reading as a dead primary.
+lease_ms=5000
+start_lvmd "$out/lvmd-lease.log" -sync-replicas -lease-ms "$lease_ms"
+"$work/lvmd" -standby -upstream "$addr" -addr "$addr2" -dir "$data3" \
+    -shards "$shards" -lease-ms "$lease_ms" >"$out/standby-lease.log" 2>&1 &
+standby_pid=$!
+wait_log "$out/standby-lease.log" "lease detection armed" "$standby_pid"
+wait_log "$out/standby-lease.log" "standby following" "$standby_pid"
+sleep 1 # let every shard replica subscribe before the first fenced ack
+"$work/lvmload" -addr "$addr" -clients "$clients" -segments "$segments" \
+    -duration 3s -strict \
+    -model "$out/model-d.json" -report "$out/report-d.json"
+kill -9 "$lvmd_pid"
+wait "$lvmd_pid" 2>/dev/null || true
+lvmd_pid=""
+
+# No SIGUSR1, no operator, nothing: the standby notices the missed
+# renewals by itself, waits out the lease, and promotes.
+wait_log "$out/standby-lease.log" "promoting automatically" "$standby_pid"
+wait_log "$out/standby-lease.log" "serving on" "$standby_pid"
+grep -q "promoted at watermark" "$out/standby-lease.log" \
+    || { echo "soak: lease standby served without promoting" >&2; exit 1; }
+"$work/lvmload" -addr "$addr2" -replay "$out/model-d.json" -strict
+kill -TERM "$standby_pid"
+wait "$standby_pid" || { echo "soak: lease-promoted drain failed" >&2; exit 1; }
+standby_pid=""
+[ -f "$data3/manifest.json" ] || { echo "soak: no lease-promoted drain manifest" >&2; exit 1; }
+cp "$data3/manifest.json" "$out/manifest-lease.json"
+"$work/lvmd" -dir "$data3" -shards "$shards" -check
 
 echo "soak: PASS (artifacts in $out)"
