@@ -27,10 +27,17 @@
 //
 // follows a primary with one subscribed replica per shard. With
 // -lease-ms N on both sides, the primary heartbeats an N-millisecond
-// serving lease down each subscription stream; a standby that sees the
-// lease expire on every shard promotes itself with no operator signal,
-// and a primary that cannot renew (paused, wedged, partitioned) demotes
-// itself and refuses writes. SIGUSR1 still promotes manually (it is
+// serving lease down each subscription stream and the standby
+// acknowledges every beat; a standby that sees the lease expire on
+// every shard promotes itself with no operator signal, and a primary
+// that cannot prove the lease demotes itself and refuses writes —
+// whether its own renewal loop stalled (paused, wedged) or, once a
+// standby has subscribed, its beats stop being acknowledged (a network
+// partition: the loop is healthy, the messages are not). The evidence
+// rule assumes this topology — one promotable standby per primary; a
+// standby that unsubscribes for good also demotes the primary within
+// one TTL, which is the honest reading of losing your only witness.
+// SIGUSR1 still promotes manually (it is
 // deprecated once leases are configured): every replica rolls back to
 // its last transaction boundary and the promoted images start serving
 // on this daemon's own address, fenced one epoch above the dead

@@ -191,6 +191,13 @@ func templates() []template {
 		// writable primary throughout.
 		{name: "failover/partition-pause", scenario: "lease-partition", maxBatch: 8,
 			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{CrashAtCycle: seed} }},
+		// The true-partition shape: the primary's renewal loop stays
+		// alive, only its messages die. The holder must demote on the
+		// delivery-evidence rule no later than the standby's monitor
+		// expires — at no step may a promoted standby and a renewing
+		// primary coexist.
+		{name: "failover/partition-drop", scenario: "lease-drop", maxBatch: 8,
+			plan: func(seed, dry uint64) fault.Plan { return fault.Plan{CrashAtCycle: seed} }},
 		// Live migration killed at each cut of the cutover fence sequence;
 		// the segment must be recoverable from exactly one side.
 		{name: "lvmd/crash-mid-migration", scenario: "migrate", maxBatch: 8,
@@ -298,6 +305,8 @@ func runScenario(t template, plan fault.Plan, short bool) (outcome, uint64) {
 		return runLeaseExpiry(t, plan, short)
 	case "lease-partition":
 		return runLeasePartition(t, plan, short)
+	case "lease-drop":
+		return runLeaseDrop(t, plan, short)
 	case "migrate":
 		return runMigrate(t, plan, short)
 	}

@@ -14,14 +14,35 @@
 // batches, and each standby re-arms its expiry deadline at receipt.
 //
 // The safety argument needs no clock synchronization, only comparable
-// clock *rates*: the holder measures the renewal gap on its own clock
-// and demotes itself when the gap exceeds the TTL, while each observer
-// arms its deadline at its own receipt time plus the same TTL. Receipt
-// necessarily happens after send, so the observer's deadline always
-// expires no earlier (in real time) than the holder's own — by the time
-// a standby promotes, a live-but-partitioned primary has already refused
-// to keep serving. A dead primary trivially stops renewing. Either way,
-// at most one node believes it holds the serving lease.
+// clock *rates*, and it has two halves — one per failure shape:
+//
+//   - Stall (pause, wedge, SIGSTOP): the holder measures the renewal gap
+//     on its own clock and demotes itself when the gap exceeds the TTL,
+//     while each observer arms its deadline at its own receipt time plus
+//     the same TTL. Receipt necessarily happens after send, so the
+//     observer's deadline expires no earlier (in real time) than the
+//     holder's own.
+//
+//   - Partition (the loop stays live, the messages die): self-measured
+//     gaps prove nothing — a partitioned-but-alive primary renews its
+//     own loop forever while the standby hears silence and promotes. So
+//     renewal also demands *delivery evidence*: observers (consumers
+//     that feed a Monitor) acknowledge every heartbeat, and once an
+//     observer has ever been admitted to the stream, the holder demotes
+//     unless some observer acknowledged a beat issued within the last
+//     TTL. An acked beat was received at or after its issue tick, so
+//     the observer's deadline (receipt + TTL) expires no earlier than
+//     the holder's evidence deadline (issue + TTL). Evidence is
+//     gathered before each beat is broadcast (logship.LeaseEvidence
+//     admits joiners first), so a beat can never arm an observer the
+//     holder has not yet started demanding evidence for.
+//
+// A dead primary trivially stops renewing. Either way, by the time a
+// standby's monitor expires, the primary has already refused to keep
+// serving: at most one node believes it holds the serving lease. The
+// evidence rule assumes the topology the failover stack actually builds
+// — one promotable standby per primary (cmd/lvmd); with several
+// independent observers, evidence from one cannot speak for another.
 //
 // Every component takes an injected Clock in abstract ticks (nanoseconds
 // under the production Wall clock), so crashtest drives expiry
@@ -45,11 +66,22 @@ type Clock interface {
 	Now() uint64
 }
 
-// Wall is the production clock: wall nanoseconds.
+// Wall is the production clock: monotonic nanoseconds since process
+// start. It deliberately reads Go's monotonic clock, never the
+// steppable wall clock — an NTP or administrative step backward would
+// underflow a holder's renewal gap (permanently demoting a healthy
+// primary) and a step forward would expire a monitor early (promoting
+// while the primary still serves). Lease ticks order events within one
+// process; across processes only the tick *rate* matters.
 type Wall struct{}
 
+// wallBase anchors Wall ticks. time.Since reads the monotonic clock
+// carried by this instant, so later steps of the wall clock are
+// invisible to the gap arithmetic.
+var wallBase = time.Now()
+
 // Now implements Clock.
-func (Wall) Now() uint64 { return uint64(time.Now().UnixNano()) }
+func (Wall) Now() uint64 { return uint64(time.Since(wallBase)) }
 
 // Ticks converts a duration to Wall-clock lease ticks.
 func Ticks(d time.Duration) uint64 {
@@ -195,7 +227,9 @@ func (a *Authority) AutoPromote(r *logship.Replica, cand string, deadHead uint64
 
 // Holder is the primary-side lease state machine: it turns renewal
 // attempts into heartbeat frames and self-demotes when it cannot prove
-// it renewed in time. Single-goroutine (the shard's run loop).
+// it renewed in time — by its own clock (the stall half of the safety
+// argument) and by delivery evidence (the partition half). Single-
+// goroutine (the shard's run loop).
 type Holder struct {
 	clock Clock
 	ttl   uint64
@@ -203,7 +237,22 @@ type Holder struct {
 	seq   uint64
 	last  uint64
 	lost  bool
+
+	// Delivery evidence. engaged latches once an observer was admitted
+	// to the stream: from then on the lease is only renewable on proof
+	// that an observer heard a beat issued within the last TTL. evidTick
+	// is the issue tick that proof currently covers; pending remembers
+	// the issue tick of each not-yet-acknowledged beat so an incoming
+	// ack can be dated by when its beat was *sent*, not when the ack
+	// came back.
+	engaged  bool
+	evidTick uint64
+	ackSeen  uint64
+	pending  []beatStamp
 }
+
+// beatStamp records when one heartbeat was issued, by renewal number.
+type beatStamp struct{ seq, tick uint64 }
 
 // NewHolder starts a held lease for the serving epoch: the grant moment
 // counts as the first renewal.
@@ -211,12 +260,20 @@ func NewHolder(clock Clock, ttl uint64, epoch uint32) *Holder {
 	return &Holder{clock: clock, ttl: ttl, epoch: epoch, last: clock.Now()}
 }
 
-// Renew attempts a renewal. If the gap since the previous renewal
-// exceeded the TTL the lease is lost — observers may already have
-// promoted past us — so the holder demotes permanently (ok=false, every
-// later call refuses too). Otherwise it returns the heartbeat to
-// broadcast: the first beat announces the grant, later ones renew it.
-func (h *Holder) Renew() (b logship.Beat, ok bool) {
+// Renew attempts a renewal. engaged reports whether any promotion-
+// capable observer has ever been admitted to the heartbeat stream, and
+// acked the newest beat sequence an observer has acknowledged — both
+// straight from logship's LeaseEvidence, gathered BEFORE the previous
+// beats were broadcast so no observer can be armed unaccounted-for.
+//
+// The lease is lost — observers may already have promoted past us — if
+// either the gap since the previous renewal exceeded the TTL (a stalled
+// loop) or, once engaged, no observer acknowledged a beat issued within
+// the TTL (a partition: the loop is fine, the messages are not). Loss
+// demotes permanently (ok=false, every later call refuses too).
+// Otherwise it returns the heartbeat to broadcast: the first beat
+// announces the grant, later ones renew it.
+func (h *Holder) Renew(engaged bool, acked uint64) (b logship.Beat, ok bool) {
 	if h.lost {
 		return logship.Beat{}, false
 	}
@@ -225,8 +282,36 @@ func (h *Holder) Renew() (b logship.Beat, ok bool) {
 		h.lost = true
 		return logship.Beat{}, false
 	}
+	// Date the newest acknowledged beat by its issue tick. Acks for
+	// sequences never issued (a buggy or hostile consumer) are ignored;
+	// acks for beats already pruned cannot move the evidence forward.
+	if acked > h.ackSeen && acked <= h.seq {
+		h.ackSeen = acked
+		i := 0
+		for ; i < len(h.pending) && h.pending[i].seq <= acked; i++ {
+			h.evidTick = h.pending[i].tick
+		}
+		h.pending = append(h.pending[:0], h.pending[i:]...)
+	}
+	if engaged && !h.engaged {
+		// First observer admitted: it hears no beat issued before this
+		// renewal, so demanding evidence from now on starts the holder's
+		// deadline no later than any observer's.
+		h.engaged = true
+		h.evidTick = now
+	}
+	if h.engaged && now-h.evidTick > h.ttl {
+		h.lost = true
+		return logship.Beat{}, false
+	}
 	h.last = now
 	h.seq++
+	h.pending = append(h.pending, beatStamp{seq: h.seq, tick: now})
+	// A beat issued more than a TTL ago could not push the evidence
+	// deadline past now even if acked, so its stamp is dead weight.
+	for len(h.pending) > 0 && now-h.pending[0].tick > h.ttl {
+		h.pending = h.pending[1:]
+	}
 	kind := logship.BeatRenew
 	if h.seq == 1 {
 		kind = logship.BeatGrant
@@ -265,7 +350,12 @@ func NewMonitor(clock Clock, ttl uint64) *Monitor {
 
 // Observe feeds one heartbeat. Beats from a superseded epoch are
 // dropped: a zombie ex-primary's heartbeats must never re-arm the
-// deadline of the generation that replaced it.
+// deadline of the generation that replaced it. The deadline arms with
+// the SMALLER of the monitor's configured TTL and the beat's
+// wire-carried one: a primary configured shorter expires us early
+// (safe), but a single beat carrying a huge TTL — a -lease-ms mismatch,
+// a bug, a hostile peer — must not disable failover on this shard for
+// that long.
 func (m *Monitor) Observe(b logship.Beat) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -277,7 +367,11 @@ func (m *Monitor) Observe(b logship.Beat) {
 	m.heard = true
 	m.beats++
 	m.seq = b.Seq
-	m.deadline = m.clock.Now() + b.TTL
+	ttl := b.TTL
+	if m.ttl > 0 && (ttl == 0 || ttl > m.ttl) {
+		ttl = m.ttl
+	}
+	m.deadline = m.clock.Now() + ttl
 }
 
 // Expired reports whether a once-heard lease has gone unrenewed past its

@@ -114,7 +114,7 @@ func TestHolderRenewAndLoss(t *testing.T) {
 	clk := NewManual(0)
 	h := NewHolder(clk, 100, 7)
 
-	b, ok := h.Renew()
+	b, ok := h.Renew(false, 0)
 	if !ok {
 		t.Fatal("first renew refused")
 	}
@@ -122,7 +122,7 @@ func TestHolderRenewAndLoss(t *testing.T) {
 		t.Fatalf("first beat = %+v", b)
 	}
 	clk.Advance(100) // exactly the TTL: still in time
-	b, ok = h.Renew()
+	b, ok = h.Renew(false, 0)
 	if !ok || b.Kind != logship.BeatRenew || b.Seq != 2 {
 		t.Fatalf("second beat = %+v, ok=%v", b, ok)
 	}
@@ -132,15 +132,118 @@ func TestHolderRenewAndLoss(t *testing.T) {
 
 	// A gap past the TTL loses the lease, permanently.
 	clk.Advance(101)
-	if _, ok := h.Renew(); ok {
+	if _, ok := h.Renew(false, 0); ok {
 		t.Fatal("renew past the TTL succeeded")
 	}
 	if !h.Lost() {
 		t.Fatal("holder not lost after missing the deadline")
 	}
 	clk.Advance(1)
-	if _, ok := h.Renew(); ok {
+	if _, ok := h.Renew(false, 0); ok {
 		t.Fatal("lost holder renewed again")
+	}
+}
+
+// TestHolderDeliveryEvidence is the partition half of the safety
+// argument: a holder whose renewal loop keeps running on schedule must
+// still demote once an engaged observer stops acknowledging beats for
+// a full TTL — that is the shape of a network partition, where
+// self-measured gaps prove nothing.
+func TestHolderDeliveryEvidence(t *testing.T) {
+	clk := NewManual(0)
+	h := NewHolder(clk, 100, 7)
+
+	// Beat 1 issued at tick 0 with an observer engaged.
+	if _, ok := h.Renew(true, 0); !ok {
+		t.Fatal("engaged first renew refused")
+	}
+	// The loop stays perfectly healthy (25-tick cadence) but no ack ever
+	// arrives: the lease must run out one TTL after engagement.
+	for i := 1; i <= 3; i++ {
+		clk.Advance(25)
+		if _, ok := h.Renew(true, 0); !ok {
+			t.Fatalf("renew at tick %d refused while evidence current", 25*i)
+		}
+	}
+	clk.Advance(25) // tick 100: exactly the TTL since engagement — still in time
+	if _, ok := h.Renew(true, 0); !ok {
+		t.Fatal("renew exactly at the evidence deadline refused")
+	}
+	clk.Advance(25) // tick 125: past it
+	if _, ok := h.Renew(true, 0); ok || !h.Lost() {
+		t.Fatal("partitioned holder renewed past the evidence TTL: split brain")
+	}
+}
+
+// TestHolderEvidenceExtends: acknowledged beats push the evidence
+// deadline by their ISSUE tick, not their ack-arrival tick, and acks
+// for never-issued sequences are ignored.
+func TestHolderEvidenceExtends(t *testing.T) {
+	clk := NewManual(0)
+	h := NewHolder(clk, 100, 7)
+
+	if _, ok := h.Renew(true, 0); !ok { // beat 1 @ tick 0
+		t.Fatal("first renew refused")
+	}
+	clk.Advance(60)
+	if _, ok := h.Renew(true, 1); !ok { // beat 2 @ tick 60; beat 1 acked
+		t.Fatal("renew with fresh ack refused")
+	}
+	// Beat 1's ack dates evidence at tick 0, so the deadline is 100 —
+	// not 160. At tick 101 with nothing further acked, the lease is out.
+	clk.Advance(41)
+	if _, ok := h.Renew(true, 1); ok || !h.Lost() {
+		t.Fatal("ack-arrival time extended the lease; issue time must bound it")
+	}
+
+	// The positive half: a stream of acks, each dating to its beat's
+	// issue tick, keeps the lease alive indefinitely.
+	clk2 := NewManual(0)
+	hh := NewHolder(clk2, 100, 7)
+	seq := uint64(0)
+	for i := 0; i < 10; i++ {
+		if _, ok := hh.Renew(true, seq); !ok {
+			t.Fatalf("renewal %d refused with current acks", i)
+		}
+		seq++ // the beat just issued is acked before the next renewal
+		clk2.Advance(90)
+	}
+	if hh.Lost() {
+		t.Fatal("holder lost despite every beat being acknowledged")
+	}
+
+	// A holder fed an ack for a sequence it never issued must not treat
+	// it as evidence: with its loop still healthy (50-tick cadence), it
+	// demotes by the evidence rule anyway.
+	clk3 := NewManual(0)
+	h2 := NewHolder(clk3, 100, 7)
+	if _, ok := h2.Renew(true, 99); !ok { // bogus future ack; beat 1 issued
+		t.Fatal("first renew refused")
+	}
+	clk3.Advance(50)
+	if _, ok := h2.Renew(true, 99); !ok { // still within the evidence TTL
+		t.Fatal("renew at tick 50 refused")
+	}
+	clk3.Advance(51) // tick 101: past engagement + TTL, nothing really acked
+	if _, ok := h2.Renew(true, 99); ok || !h2.Lost() {
+		t.Fatal("never-issued ack sequence counted as delivery evidence")
+	}
+}
+
+// TestHolderEngagementSticky: once an observer has been admitted,
+// losing every consumer (the connection-killing face of a partition)
+// must NOT disengage the holder back to loop-only renewal.
+func TestHolderEngagementSticky(t *testing.T) {
+	clk := NewManual(0)
+	h := NewHolder(clk, 100, 7)
+	if _, ok := h.Renew(true, 0); !ok {
+		t.Fatal("first renew refused")
+	}
+	// Evidence dries up AND the caller now reports no observers (they
+	// all disconnected). Engagement is sticky: the holder still demotes.
+	clk.Advance(101)
+	if _, ok := h.Renew(false, 0); ok || !h.Lost() {
+		t.Fatal("holder disengaged when its observers vanished")
 	}
 }
 
@@ -188,6 +291,39 @@ func TestMonitorObserveExpiry(t *testing.T) {
 	}
 	if m.Epoch() != 4 {
 		t.Fatalf("epoch = %d, want 4", m.Epoch())
+	}
+}
+
+// TestMonitorClampsWireTTL: the deadline arms with the smaller of the
+// monitor's configured TTL and the beat's wire-carried one. A single
+// beat carrying a huge TTL — a -lease-ms mismatch, a bug, a hostile
+// peer — must not disable failover on this shard indefinitely.
+func TestMonitorClampsWireTTL(t *testing.T) {
+	clk := NewManual(0)
+	m := NewMonitor(clk, 100)
+
+	m.Observe(logship.Beat{Kind: logship.BeatGrant, Epoch: 1, Seq: 1, TTL: 1 << 60})
+	clk.Advance(101)
+	if !m.Expired() {
+		t.Fatal("oversized wire TTL overrode the configured one: failover disabled")
+	}
+
+	// A zero wire TTL (malformed beat) clamps too, not "never expires".
+	m.Observe(logship.Beat{Kind: logship.BeatRenew, Epoch: 1, Seq: 2, TTL: 0})
+	if m.Expired() {
+		t.Fatal("renewal did not re-arm")
+	}
+	clk.Advance(101)
+	if !m.Expired() {
+		t.Fatal("zero wire TTL disabled expiry")
+	}
+
+	// A primary configured SHORTER expires us early — the safe direction
+	// — so the wire TTL is honored when it is the smaller one.
+	m.Observe(logship.Beat{Kind: logship.BeatRenew, Epoch: 1, Seq: 3, TTL: 40})
+	clk.Advance(41)
+	if !m.Expired() {
+		t.Fatal("shorter wire TTL not honored")
 	}
 }
 

@@ -52,8 +52,14 @@ func TestHeartbeatFlowsToObserver(t *testing.T) {
 	}
 	rb := connectReplica(t, dial) // no lease tracking: beats must be harmless
 
-	// A heartbeat to a just-joined consumer admits it first, so even an
-	// idle primary's standby hears the grant announcement.
+	// LeaseEvidence admits just-joined consumers (Heartbeat deliberately
+	// does not: evidence must be gathered before the renewal decision),
+	// so even an idle primary's standby hears the grant announcement.
+	// With a tracking replica attached the holder reads engaged=true and
+	// no acks yet.
+	if engaged, acked := ship.LeaseEvidence(); !engaged || acked != 0 {
+		t.Fatalf("evidence before first beat = engaged=%v acked=%d, want true/0", engaged, acked)
+	}
 	if err := ship.Heartbeat(Beat{Kind: BeatGrant, Epoch: 3, Seq: 1, TTL: 1000}); err != nil {
 		t.Fatal(err)
 	}
@@ -90,6 +96,23 @@ func TestHeartbeatFlowsToObserver(t *testing.T) {
 	}
 	if n := ship.Stats.BeatsShipped.Load(); n != 4 {
 		t.Fatalf("beats shipped = %d, want 4 (2 beats × 2 consumers)", n)
+	}
+	// Only the tracking replica acknowledges beats — it is the lease
+	// observer; the plain replica consumes them silently. Per-connection
+	// delivery is FIFO both ways: the release's batch ack was written
+	// after beat-ack 2, and connAcks reads them in order, so by now the
+	// shipper's evidence deterministically covers beat seq 2.
+	if _, acked := ship.LeaseEvidence(); acked != 2 {
+		t.Fatalf("evidence acked = %d, want 2", acked)
+	}
+	if n := ra.Stats.BeatAcksSent.Load(); n != 2 {
+		t.Fatalf("tracking replica beat acks sent = %d, want 2", n)
+	}
+	if n := rb.Stats.BeatAcksSent.Load(); n != 0 {
+		t.Fatalf("non-tracking replica sent %d beat acks, want 0", n)
+	}
+	if n := ship.Stats.BeatAcks.Load(); n != 2 {
+		t.Fatalf("shipper beat acks = %d, want 2", n)
 	}
 	for name, r := range map[string]*Replica{"tracking": ra, "plain": rb} {
 		if err := dsm.Verify(prod.Segment(), r.Consumer(), shared); err != nil {

@@ -132,10 +132,19 @@ func (r *Replica) Connect() error {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	_ = c.SetDeadline(deadline)
+	var flags byte
+	if r.leaseObs != nil {
+		// Only lease observers advertise themselves: their beat-acks are
+		// the delivery evidence the holder's renewal feeds on, and a
+		// transient subscriber (e.g. a segment migration) must not engage
+		// the holder or sustain its evidence.
+		flags |= helloObserver
+	}
 	if _, err := c.Write(encodeFrame(typeHello, encodeHello(hello{
 		lastSeq: r.lastSeq,
 		epoch:   r.epoch,
 		segSize: r.size,
+		flags:   flags,
 	}))); err != nil {
 		c.Close()
 		return err
@@ -231,6 +240,12 @@ func (r *Replica) consume(c net.Conn) {
 			r.Stats.BeatsSeen.Add(1)
 			if r.leaseObs != nil {
 				r.leaseObs(b)
+				// Acknowledge after observing: once the ack reaches the
+				// shipper, this monitor's expiry deadline is provably at
+				// or beyond the holder's evidence deadline for this beat.
+				if !r.sendBeatAck(c, b.Seq) {
+					return
+				}
 			}
 			continue
 		}
@@ -418,5 +433,16 @@ func (r *Replica) sendAck(c net.Conn, seq uint64) bool {
 		return false
 	}
 	r.Stats.AcksSent.Add(1)
+	return true
+}
+
+// sendBeatAck acknowledges receipt of lease beat seq — the delivery
+// evidence half of the beat round trip (Shipper.LeaseEvidence).
+func (r *Replica) sendBeatAck(c net.Conn, seq uint64) bool {
+	if _, err := c.Write(encodeFrame(typeBeatAck, encodeAck(seq))); err != nil {
+		r.err = err
+		return false
+	}
+	r.Stats.BeatAcksSent.Add(1)
 	return true
 }

@@ -72,13 +72,14 @@ func (c *Config) fill() {
 
 // shipConn is one consumer connection as the shipper sees it.
 type shipConn struct {
-	c     net.Conn
-	ch    chan []byte   // sealed frames awaiting the writer; cap = Window
-	start uint64        // sequence shipping resumed from (catch-up cursor)
-	acked atomic.Uint64 // highest sequence the consumer acknowledged
-	dead  atomic.Bool
-	stop  chan struct{}
-	once  sync.Once
+	c        net.Conn
+	ch       chan []byte   // sealed frames awaiting the writer; cap = Window
+	start    uint64        // sequence shipping resumed from (catch-up cursor)
+	acked    atomic.Uint64 // highest sequence the consumer acknowledged
+	observer bool          // hello carried the lease-observer flag
+	dead     atomic.Bool
+	stop     chan struct{}
+	once     sync.Once
 }
 
 func (c *shipConn) kill() {
@@ -110,6 +111,11 @@ type Shipper struct {
 	batch      []byte // raw re-encoded records of the open batch
 	batchCount int
 	sealedSeq  uint64 // log index everything up to which has been sealed
+	obsSeen    bool   // a lease observer was admitted at least once (sticky)
+
+	// beatAck is the highest beat sequence any observer acknowledged;
+	// written by connAcks goroutines, read by LeaseEvidence.
+	beatAck atomic.Uint64
 
 	// Shared with handshake goroutines.
 	epoch  atomic.Uint32
@@ -230,10 +236,11 @@ func (s *Shipper) handshake(c net.Conn) {
 	}
 	start := negotiateStart(h, s.epoch.Load(), s.seq.Load())
 	sc := &shipConn{
-		c:     c,
-		ch:    make(chan []byte, s.cfg.Window),
-		start: start,
-		stop:  make(chan struct{}),
+		c:        c,
+		ch:       make(chan []byte, s.cfg.Window),
+		start:    start,
+		observer: h.flags&helloObserver != 0,
+		stop:     make(chan struct{}),
 	}
 	sc.acked.Store(start)
 	if !s.register(sc) {
@@ -311,6 +318,25 @@ func (s *Shipper) connAcks(c *shipConn) {
 			c.kill()
 			s.ping()
 			return
+		}
+		if typ == typeBeatAck {
+			seq, err := decodeAck(payload)
+			if err != nil {
+				c.kill()
+				s.ping()
+				return
+			}
+			if c.observer {
+				// CAS-max: acks from concurrent observers may race.
+				for {
+					cur := s.beatAck.Load()
+					if seq <= cur || s.beatAck.CompareAndSwap(cur, seq) {
+						break
+					}
+				}
+				s.Stats.BeatAcks.Add(1)
+			}
+			continue
 		}
 		if typ != typeAck {
 			continue
@@ -448,6 +474,9 @@ func (s *Shipper) admitJoins() error {
 			return err
 		}
 		s.conns = append(s.conns, c)
+		if c.observer {
+			s.obsSeen = true
+		}
 	}
 }
 
@@ -543,15 +572,21 @@ func (s *Shipper) shipSnapshot(c *shipConn) {
 }
 
 // Heartbeat broadcasts a serving-lease beat (internal/lease) to every
-// live consumer, admitting joiners first so a standby that subscribed to
-// an idle primary still hears renewals. Delivery is best effort: a full
-// window drops the beat for that consumer (the next renewal covers it)
-// rather than ever stalling the producer on its own liveness signal.
-// Producer thread only.
+// live consumer. Delivery is best effort: a full window drops the beat
+// for that consumer (the next renewal covers it) rather than ever
+// stalling the producer on its own liveness signal. The holder's safety
+// comes not from delivery but from the beat-ack round trip: observers
+// acknowledge each beat, and the holder demotes itself when evidence
+// dries up (lease.Holder).
+//
+// Heartbeat deliberately does NOT admit joiners: admission must happen
+// in LeaseEvidence, BEFORE the holder decides whether it may renew.
+// Admitting here — after the renewal decision — would let a fresh
+// standby hear a beat the holder issued without counting that standby
+// in its evidence, skewing the two deadlines apart. Call LeaseEvidence
+// first (lvmd.shard does) so a standby that subscribed to an idle
+// primary still hears renewals. Producer thread only.
 func (s *Shipper) Heartbeat(b Beat) error {
-	if err := s.admitJoins(); err != nil {
-		return err
-	}
 	frame := encodeFrame(typeLease, encodeBeat(b))
 	for _, c := range s.conns {
 		if c.dead.Load() {
@@ -566,6 +601,20 @@ func (s *Shipper) Heartbeat(b Beat) error {
 		}
 	}
 	return nil
+}
+
+// LeaseEvidence admits pending joiners and reports the delivery
+// evidence the lease holder's renewal decision feeds on: whether a
+// lease observer has ever been admitted (engaged, sticky — a partition
+// that kills the connection does not disengage the holder) and the
+// highest beat sequence any observer has acknowledged. Call it
+// immediately before Holder.Renew, and ship the granted beat with
+// Heartbeat: admission-before-renewal is what keeps the holder's
+// evidence deadline at or before every monitor's expiry deadline.
+// Producer thread only.
+func (s *Shipper) LeaseEvidence() (engaged bool, acked uint64) {
+	_ = s.admitJoins() //errgate:ok — admission trouble is the joiner's problem; evidence already gathered stands
+	return s.obsSeen, s.beatAck.Load()
 }
 
 // MinAcked reports the lowest sequence any live consumer has

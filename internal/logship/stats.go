@@ -35,6 +35,10 @@ type ShipStats struct {
 	// was full — renewal is best effort, the next beat covers it.
 	BeatsShipped atomic.Uint64
 	BeatsDropped atomic.Uint64
+
+	// BeatAcks counts beat acknowledgements received from lease
+	// observers — the delivery evidence the holder's renewal feeds on.
+	BeatAcks atomic.Uint64
 }
 
 // Collect is a metrics.Collector emitting the shipper's counters.
@@ -53,6 +57,7 @@ func (s *ShipStats) Collect(emit func(name string, v uint64)) {
 	emit("logship.fenced_hellos", s.FencedHellos.Load())
 	emit("logship.beats_shipped", s.BeatsShipped.Load())
 	emit("logship.beats_dropped", s.BeatsDropped.Load())
+	emit("logship.beat_acks", s.BeatAcks.Load())
 }
 
 // ReplicaStats are the consumer-side counters, surfaced in the replica
@@ -81,8 +86,10 @@ type ReplicaStats struct {
 	RolledBack atomic.Uint64
 
 	// BeatsSeen counts lease heartbeat frames received (whether or not a
-	// monitor is tracking them).
-	BeatsSeen atomic.Uint64
+	// monitor is tracking them); BeatAcksSent counts the acknowledgements
+	// a tracking replica returned as delivery evidence.
+	BeatsSeen    atomic.Uint64
+	BeatAcksSent atomic.Uint64
 }
 
 // Collect is a metrics.Collector emitting the replica's counters.
@@ -99,4 +106,5 @@ func (s *ReplicaStats) Collect(emit func(name string, v uint64)) {
 	emit("logship.replica_fenced", s.Fenced.Load())
 	emit("logship.replica_rolled_back", s.RolledBack.Load())
 	emit("logship.replica_beats_seen", s.BeatsSeen.Load())
+	emit("logship.replica_beat_acks_sent", s.BeatAcksSent.Load())
 }

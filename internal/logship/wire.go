@@ -15,15 +15,16 @@
 // sequence number after a crash or disconnect — the same
 // degrade-don't-panic posture as internal/recovery.Replay.
 //
-// Wire protocol (version 3, little-endian):
+// Wire protocol (version 4, little-endian):
 //
 //	frame    := magic(4)="LVSH" ver(1) type(1) flags(2) len(4) payload len-bytes crc32(4)
-//	hello    := lastSeq(8) epoch(4) segSize(4)            replica → shipper
+//	hello    := lastSeq(8) epoch(4) segSize(4) flags(1)   replica → shipper
 //	welcome  := startSeq(8) epoch(4) segSize(4)           shipper → replica
 //	batch    := baseSeq(8) endSeq(8) count(4) count×16-byte records
 //	ack      := seq(8)                                    replica → shipper
 //	snapshot := coverSeq(8) segSize(4) off(4) image-chunk shipper → replica
 //	lease    := kind(1) pad(3) epoch(4) seq(8) ttl(8)     shipper → replica
+//	beatack  := seq(8)                                    replica → shipper
 //
 // Sequence numbers are logical log-record indices: physical log offset /
 // 16 plus the shipper's compaction base, so they stay monotonic across
@@ -40,6 +41,14 @@
 // standbys observe renewals exactly where they observe the data whose
 // authority the lease asserts. Lease frames carry no cursor — consumers
 // that don't track leases skip them like any unknown type.
+// Version 4 adds lease delivery evidence: the hello grows a flags byte
+// whose observer bit marks a consumer that feeds a lease.Monitor, and
+// such consumers acknowledge every lease frame with a beatack carrying
+// the beat's renewal sequence. The shipper folds those acks into
+// LeaseEvidence, which the lease holder renews against — a primary that
+// an admitted observer has not acknowledged for a full TTL demotes
+// itself, closing the split-brain a live-but-partitioned renewal loop
+// would otherwise cause.
 // The replica applies chunks raw and acks coverSeq when the final chunk
 // (off+len == segSize) lands; a torn snapshot is never acked, so a
 // reconnect restarts it. Record address fields are rewritten to segment
@@ -62,8 +71,9 @@ const (
 	Magic = uint32(0x4853564C)
 	// Version is the wire protocol version this package speaks (2 added
 	// the snapshot frame for catch-up across log compactions, 3 the
-	// lease heartbeat frame for automatic failure detection).
-	Version = 3
+	// lease heartbeat frame for automatic failure detection, 4 the hello
+	// observer flag and the beat-ack frame for lease delivery evidence).
+	Version = 4
 
 	headerSize = 12
 	crcSize    = 4
@@ -81,6 +91,7 @@ const (
 	typeAck      = byte(4)
 	typeSnapshot = byte(5)
 	typeLease    = byte(6)
+	typeBeatAck  = byte(7)
 )
 
 // ErrCorrupt marks a frame that failed structural validation: bad magic,
@@ -150,12 +161,20 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	return hdr[5], payload, nil
 }
 
-// hello is the replica's handshake: where it left off.
+// hello is the replica's handshake: where it left off, and what kind of
+// consumer it is.
 type hello struct {
 	lastSeq uint64
 	epoch   uint32
 	segSize uint32
+	flags   byte
 }
+
+// helloObserver marks the consumer as a promotion-capable lease
+// observer: it feeds heartbeats to a lease.Monitor and acknowledges
+// each one, so the shipper counts its admission (and its beat-acks) as
+// lease delivery evidence.
+const helloObserver = byte(1 << 0)
 
 // welcome is the shipper's handshake reply: where shipping will resume.
 type welcome struct {
@@ -164,13 +183,17 @@ type welcome struct {
 	segSize  uint32
 }
 
-const helloSize = 16 // also the welcome size: same layout
+const (
+	helloSize   = 17
+	welcomeSize = 16
+)
 
 func encodeHello(h hello) []byte {
 	b := make([]byte, helloSize)
 	put64(b, h.lastSeq)
 	put32(b[8:], h.epoch)
 	put32(b[12:], h.segSize)
+	b[16] = h.flags
 	return b
 }
 
@@ -178,11 +201,11 @@ func decodeHello(p []byte) (hello, error) {
 	if len(p) != helloSize {
 		return hello{}, fmt.Errorf("%w: hello payload %d bytes", ErrCorrupt, len(p))
 	}
-	return hello{lastSeq: get64(p), epoch: get32(p[8:]), segSize: get32(p[12:])}, nil
+	return hello{lastSeq: get64(p), epoch: get32(p[8:]), segSize: get32(p[12:]), flags: p[16]}, nil
 }
 
 func encodeWelcome(w welcome) []byte {
-	b := make([]byte, helloSize)
+	b := make([]byte, welcomeSize)
 	put64(b, w.startSeq)
 	put32(b[8:], w.epoch)
 	put32(b[12:], w.segSize)
@@ -190,7 +213,7 @@ func encodeWelcome(w welcome) []byte {
 }
 
 func decodeWelcome(p []byte) (welcome, error) {
-	if len(p) != helloSize {
+	if len(p) != welcomeSize {
 		return welcome{}, fmt.Errorf("%w: welcome payload %d bytes", ErrCorrupt, len(p))
 	}
 	return welcome{startSeq: get64(p), epoch: get32(p[8:]), segSize: get32(p[12:])}, nil

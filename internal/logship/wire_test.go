@@ -10,7 +10,7 @@ import (
 )
 
 func TestFrameRoundTrip(t *testing.T) {
-	payload := encodeHello(hello{lastSeq: 42, epoch: 7, segSize: 4096})
+	payload := encodeHello(hello{lastSeq: 42, epoch: 7, segSize: 4096, flags: helloObserver})
 	frame := encodeFrame(typeHello, payload)
 	typ, got, err := readFrame(bytes.NewReader(frame))
 	if err != nil {
@@ -23,7 +23,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.lastSeq != 42 || h.epoch != 7 || h.segSize != 4096 {
+	if h.lastSeq != 42 || h.epoch != 7 || h.segSize != 4096 || h.flags != helloObserver {
 		t.Fatalf("hello = %+v", h)
 	}
 }

@@ -79,6 +79,69 @@ func TestShardLeaseDemotion(t *testing.T) {
 	}
 }
 
+// TestShardDemotesBeforeAckAfterPause is the regression for the
+// select-race hole: a run loop resumed after a pause longer than the
+// TTL has both the op queue and the beat ticker ready at its select,
+// and Go picks between ready cases uniformly — so the old code could
+// process and acknowledge a full batch of writes before the ticker
+// case ever ran leaseTick, after a standby had already promoted. The
+// ticker here is parked a quarter-hour away (huge wall TTL) so it
+// cannot fire within the test: only the lease check at the top of
+// process() can demote, and the post-pause commit must be refused —
+// deterministically, not per the scheduler's coin flip.
+func TestShardDemotesBeforeAckAfterPause(t *testing.T) {
+	clk := lease.NewManual(0)
+	ttl := time.Hour
+	srv, err := NewServer(ServerConfig{
+		Dir:    t.TempDir(),
+		Shards: 1,
+		Shard: ShardConfig{
+			Core: CoreConfig{Slots: 32, SlotSize: 1024, LogPages: 64,
+				AbsorbWindow: 8, GroupSize: 8, GroupDeadline: 1024},
+			LeaseTTL:   ttl,
+			LeaseClock: clk,
+		},
+		StallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, dial := logship.NewMemTransport()
+	srv.Serve(ln)
+
+	cl, err := DialClient(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Open(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Commit(1, []Write{{Off: 0, Val: 0xAA}}); err != nil {
+		t.Fatalf("commit under a held lease: %v", err)
+	}
+
+	// The pause: the lease clock jumps past the TTL while the ticker
+	// stays silent. The very next write must find the shard demoted.
+	clk.Advance(lease.Ticks(ttl) + 1)
+	if err := cl.Commit(1, []Write{{Off: 0, Val: 0xBB}}); err == nil ||
+		!strings.Contains(err.Error(), "status 6") {
+		t.Fatalf("first post-pause commit = %v, want StatusDemoted refusal", err)
+	}
+	if !srv.shards[0].Demoted() {
+		t.Fatal("shard acked past the pause without demoting")
+	}
+	// The pre-pause ack survives; the refused write never applied.
+	b, err := cl.Read(1, 0, 4)
+	if err != nil {
+		t.Fatalf("read on a demoted shard: %v", err)
+	}
+	if got := get32(b); got != 0xAA {
+		t.Fatalf("demoted read = %#x, want the pre-demotion ack %#x", got, 0xAA)
+	}
+	srv.Drain()
+}
+
 // TestServerIdleDeadline is the satellite regression: a connected client
 // that goes silent is reaped after IdleTimeout and counted, while an
 // active client — each frame refreshes the deadline — outlives many

@@ -57,12 +57,16 @@ type ShardConfig struct {
 	SyncWait     time.Duration
 	// LeaseTTL enables the serving lease (internal/lease): the shard
 	// broadcasts heartbeat frames renewing a lease of this duration down
-	// its subscription stream, and a shard that cannot prove it renewed
-	// in time — paused, wedged, partitioned — demotes itself: writes are
-	// refused with StatusDemoted from then on (reads still serve; the
-	// data is consistent, just no longer authoritative for new writes),
-	// because a standby observing the missed renewal may already have
-	// promoted. 0 disables (the SIGUSR1-era behavior).
+	// its subscription stream, and a shard that cannot prove the lease
+	// in time demotes itself: writes are refused with StatusDemoted from
+	// then on (reads still serve; the data is consistent, just no longer
+	// authoritative for new writes), because a standby observing the
+	// missed renewal may already have promoted. Proof has two halves:
+	// the renewal loop itself must run on schedule (catches pauses and
+	// wedges), and once a standby has subscribed, some observer must
+	// keep acknowledging beats (catches partitions — a cut-off primary
+	// stops seeing acks and demotes within one TTL even though its own
+	// loop is healthy). 0 disables (the SIGUSR1-era behavior).
 	LeaseTTL time.Duration
 	// LeaseClock injects the lease time source (default lease.Wall) so
 	// tests drive renewal and expiry deterministically.
@@ -245,10 +249,20 @@ type staged struct {
 	payload []byte
 	t0      time.Time
 	commit  bool
-	reply   func(byte, []byte)
+	// mut marks a successful mutation ack (open or commit). If the lease
+	// is found lost after the fence, these replies are suppressed — the
+	// client sees an in-doubt request, never an ack from a fenced zombie.
+	mut   bool
+	reply func(byte, []byte)
 }
 
 func (s *Shard) process(batch []shardOp) {
+	// Check the lease before staging anything: a loop resumed after a
+	// pause longer than the TTL has both the op queue and the beat ticker
+	// ready, and Go's select picks uniformly — without this check the
+	// batch could be processed and acked before the ticker case ever ran,
+	// after a standby already promoted.
+	s.leaseTick()
 	c := s.Core
 	// out[i] answers batch[i]; reads are filled in after the fence.
 	out := make([]staged, 0, len(batch))
@@ -288,7 +302,7 @@ func (s *Shard) process(batch []shardOp) {
 				mutated = true
 			}
 			out = append(out, staged{typ: logship.FrameOpenResp, payload: encodeOpenResp(resp),
-				t0: op.t0, reply: op.reply})
+				t0: op.t0, mut: resp.status == StatusOK, reply: op.reply})
 		case opCommit:
 			seq, err := c.Commit(op.segID, op.writes)
 			resp := commitResp{segID: op.segID, clientSeq: op.clientSeq, shardSeq: seq}
@@ -305,7 +319,8 @@ func (s *Shard) process(batch []shardOp) {
 				mutated = true
 			}
 			out = append(out, staged{typ: logship.FrameCommitResp, payload: encodeCommitResp(resp),
-				t0: op.t0, commit: resp.status == StatusOK, reply: op.reply})
+				t0: op.t0, commit: resp.status == StatusOK, mut: resp.status == StatusOK,
+				reply: op.reply})
 		case opRead:
 			out = append(out, staged{t0: op.t0, reply: op.reply})
 		case opFunc:
@@ -333,6 +348,13 @@ func (s *Shard) process(batch []shardOp) {
 			}
 		}
 	}
+	// Re-check the lease after the fence: a fence that stalled past the
+	// TTL means a standby may have promoted while these mutations waited
+	// for durability. Their acks are suppressed below — the writes exist
+	// (durable here) but may not exist on the promoted timeline, so the
+	// client must see them as in-doubt, not acknowledged.
+	s.leaseTick()
+	leaseLost := s.demoted.Load()
 	// Reads run after the fence: a client that commits then reads (even
 	// on another connection) sees its acked writes.
 	for bi, op := range batch {
@@ -360,6 +382,11 @@ func (s *Shard) process(batch []shardOp) {
 		if r.reply == nil {
 			continue
 		}
+		if leaseLost && r.mut {
+			// opFunc replies are never suppressed (Exec would hang); they
+			// carry no client-visible ack.
+			continue
+		}
 		if r.commit {
 			c.sh.Observe(metrics.HistLvmdCommitAck, uint64(time.Since(r.t0).Nanoseconds()))
 		}
@@ -371,21 +398,27 @@ func (s *Shard) process(batch []shardOp) {
 }
 
 // leaseTick renews the serving lease and broadcasts the heartbeat. A
-// renewal past the TTL means this shard cannot prove it is still the
-// primary — it demotes itself permanently (until restart) and stops
-// heartbeating, so even if its beats could still reach a standby they
-// would not re-arm a superseded deadline.
+// renewal past the TTL — or, once a standby has subscribed, a TTL
+// without any beat acknowledged — means this shard cannot prove it is
+// still the primary: it demotes itself permanently (until restart) and
+// stops heartbeating, so even if its beats could still reach a standby
+// they would not re-arm a superseded deadline. Evidence is gathered
+// (and joiners admitted) BEFORE the renewal decision, which is what
+// keeps the holder's evidence deadline at or before every monitor's
+// expiry deadline.
 func (s *Shard) leaseTick() {
-	if s.demoted.Load() {
+	if s.holder == nil || s.demoted.Load() {
 		return
 	}
-	b, ok := s.holder.Renew()
+	engaged, acked := s.Shipper.LeaseEvidence()
+	b, ok := s.holder.Renew(engaged, acked)
 	if !ok {
 		s.demoted.Store(true)
 		return
 	}
-	// A heartbeat that fails to broadcast (a joiner's catch-up failed) is
-	// advisory: the next Flush surfaces the same error to the fence.
+	// A heartbeat that fails to broadcast (a full consumer window) is
+	// advisory for delivery — the next beat covers it — and safe for the
+	// lease: an undelivered beat is never acked, so it earns no evidence.
 	_ = s.Shipper.Heartbeat(b) //errgate:ok — renewal is best effort; the next beat covers it
 }
 
